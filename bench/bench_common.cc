@@ -1,0 +1,197 @@
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "utils/stopwatch.h"
+#include "utils/string_util.h"
+
+namespace sagdfn::bench {
+
+BenchConfig ParseBenchConfig(int argc, char** argv) {
+  utils::CommandLine cli(argc, argv);
+  BenchConfig config;
+  config.full = cli.GetBool("full", false);
+  config.max_nodes = cli.GetInt("max-nodes", 0);
+  config.epochs = cli.GetInt("epochs", 0);
+  config.batch_size = cli.GetInt("batch", 8);
+  config.max_train_batches = cli.GetInt("train-batches", 0);
+  config.max_eval_batches = cli.GetInt("eval-batches", 0);
+  config.learning_rate = cli.GetDouble("lr", 0.02);
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed", 5));
+  return config;
+}
+
+baselines::FitOptions MakeFitOptions(const BenchConfig& config) {
+  baselines::FitOptions fit;
+  fit.epochs = config.epochs > 0 ? config.epochs : (config.full ? 30 : 6);
+  fit.batch_size = config.batch_size;
+  fit.learning_rate = config.learning_rate;
+  fit.max_train_batches_per_epoch =
+      config.max_train_batches > 0 ? config.max_train_batches
+                                   : (config.full ? 0 : 25);
+  fit.max_eval_batches = config.max_eval_batches > 0
+                             ? config.max_eval_batches
+                             : (config.full ? 0 : 8);
+  fit.seed = config.seed;
+  return fit;
+}
+
+baselines::ModelSizing MakeModelSizing(const BenchConfig& config) {
+  baselines::ModelSizing sizing;
+  if (config.full) {
+    // Paper Section V-A implementation settings.
+    sizing.hidden = 64;
+    sizing.embedding = 10;
+    sizing.diffusion_steps = 3;
+    sizing.sagdfn_m = 100;
+    sizing.sagdfn_k = 80;
+    sizing.sagdfn_heads = 8;
+    sizing.sagdfn_ffn_hidden = 32;
+    sizing.sagdfn_embedding = 100;
+    sizing.alpha = 2.0f;
+    sizing.convergence_iters = 1 << 20;  // scheduled by the trainer
+  } else {
+    sizing.hidden = 16;
+    sizing.embedding = 8;
+    sizing.diffusion_steps = 2;
+    sizing.sagdfn_m = 16;
+    sizing.sagdfn_k = 12;
+    sizing.sagdfn_heads = 2;
+    sizing.sagdfn_ffn_hidden = 8;
+    sizing.sagdfn_embedding = 12;
+    sizing.alpha = 1.5f;
+    sizing.convergence_iters = 1 << 20;
+  }
+  sizing.seed = config.seed;
+  return sizing;
+}
+
+data::ForecastDataset LoadDataset(const std::string& name,
+                                  const BenchConfig& config) {
+  data::TimeSeries series = data::MakeDataset(name, config.scale());
+  if (config.max_nodes > 0 && config.max_nodes < series.num_nodes()) {
+    series = data::SliceNodes(series, config.max_nodes);
+  }
+  return data::ForecastDataset(std::move(series),
+                               data::DefaultWindowSpec(name));
+}
+
+ModelRun RunForecaster(baselines::Forecaster& forecaster,
+                       const data::ForecastDataset& dataset,
+                       const BenchConfig& config,
+                       const std::vector<int64_t>& horizons) {
+  ModelRun run;
+  run.name = forecaster.name();
+  baselines::FitOptions fit = MakeFitOptions(config);
+  forecaster.Fit(dataset, fit);
+  run.fit_seconds = forecaster.LastFitSeconds();
+  run.parameter_count = forecaster.ParameterCount();
+
+  const int64_t max_windows =
+      fit.max_eval_batches > 0 ? fit.max_eval_batches * fit.batch_size : 0;
+  utils::Stopwatch inference_watch;
+  tensor::Tensor pred =
+      forecaster.Predict(dataset, data::Split::kTest, max_windows);
+  run.inference_seconds = inference_watch.ElapsedSeconds();
+  tensor::Tensor truth = baselines::CollectTruth(
+      dataset, data::Split::kTest, pred.dim(0));
+  run.horizon_scores = metrics::EvaluateHorizons(pred, truth, horizons);
+  return run;
+}
+
+ModelRun RunModel(const std::string& name,
+                  const data::ForecastDataset& dataset,
+                  const BenchConfig& config,
+                  const std::vector<int64_t>& horizons) {
+  auto forecaster =
+      baselines::MakeForecaster(name, MakeModelSizing(config));
+  return RunForecaster(*forecaster, dataset, config, horizons);
+}
+
+bool PredictsOom(const std::string& name, int64_t full_scale_nodes,
+                 const BenchConfig& config) {
+  if (!baselines::HasFamily(name)) return false;
+  core::MemoryParams params;
+  params.num_nodes = full_scale_nodes;
+  params.batch = 32;  // the paper's reduced batch for big datasets
+  core::MemoryEstimate estimate = core::EstimateTrainingMemory(
+      baselines::FamilyOf(name), params);
+  return core::WouldOom(estimate, config.oom_budget_bytes);
+}
+
+void AddScoreRow(utils::TablePrinter& table, const ModelRun& run,
+                 int64_t num_horizons) {
+  std::vector<std::string> row;
+  row.push_back(run.name);
+  if (run.oom) {
+    for (int64_t h = 0; h < num_horizons * 3; ++h) row.push_back("x");
+  } else {
+    for (const auto& s : run.horizon_scores) {
+      row.push_back(utils::FormatDouble(s.mae, 2));
+      row.push_back(utils::FormatDouble(s.rmse, 2));
+      row.push_back(utils::FormatDouble(s.mape * 100.0, 1) + "%");
+    }
+  }
+  table.AddRow(std::move(row));
+}
+
+void PrintHeader(const std::string& title, const BenchConfig& config) {
+  std::cout << "=== " << title << " ===\n"
+            << "profile: " << (config.full ? "full" : "quick")
+            << " (use --full for paper-scale sizes; quick preserves the "
+               "qualitative shape at CPU-friendly cost)\n\n";
+}
+
+int RunLargeDatasetTable(const std::string& dataset_name,
+                         int64_t paper_full_nodes, const std::string& title,
+                         int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  if (!config.full) {
+    // The dense baselines that survive the OOM filter are O(N^2); keep
+    // the quick profile's node count and per-model iteration budget small
+    // enough that the whole table finishes in a few minutes on one core.
+    if (config.max_nodes == 0) config.max_nodes = 160;
+    if (config.epochs == 0) config.epochs = 6;
+    if (config.max_train_batches == 0) config.max_train_batches = 20;
+  }
+  PrintHeader(title, config);
+
+  data::ForecastDataset dataset = LoadDataset(dataset_name, config);
+  std::cout << "dataset: " << dataset.num_nodes() << " nodes (paper scale: "
+            << paper_full_nodes << "), "
+            << dataset.series().num_steps() << " steps; OOM markers use "
+            << "the paper-scale node count against a "
+            << utils::FormatBytes(config.oom_budget_bytes)
+            << " budget\n\n";
+
+  const std::vector<int64_t> horizons = {3, 6, 12};
+  utils::TablePrinter table({dataset_name, "H3 MAE", "H3 RMSE", "H3 MAPE",
+                             "H6 MAE", "H6 RMSE", "H6 MAPE", "H12 MAE",
+                             "H12 RMSE", "H12 MAPE"});
+  std::vector<std::string> models = baselines::PaperBaselineNames();
+  models.push_back("SAGDFN");
+  for (const auto& name : models) {
+    ModelRun run;
+    if (PredictsOom(name, paper_full_nodes, config)) {
+      run.name = name;
+      run.oom = true;
+      std::cerr << "[oom ] " << name << "\n";
+    } else {
+      run = RunModel(name, dataset, config, horizons);
+      std::cerr << "[done] " << name << " ("
+                << utils::FormatDouble(run.fit_seconds, 1) << "s fit)\n";
+    }
+    AddScoreRow(table, run, horizons.size());
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape (paper, full scale): most dense STGNNs "
+               "OOM; GraphWaveNet/MTGNN run but trail badly; SAGDFN wins "
+               "every horizon by a clear margin. The quick profile "
+               "reproduces the OOM pattern and the survivor set exactly; "
+               "accuracy gaps between the survivors compress at small N "
+               "(the paper's margin comes from dense adjacencies "
+               "degrading at N ~ 2000) — see EXPERIMENTS.md.\n";
+  return 0;
+}
+
+}  // namespace sagdfn::bench

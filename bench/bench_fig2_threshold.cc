@@ -1,0 +1,133 @@
+// Reproduces paper Figure 2: "Diffusion threshold M for Sensor 883 of
+// London2000" — a sensor's diffused features barely change once the
+// neighborhood grows past a small threshold, which justifies M ~ 5% of N.
+//
+// Protocol: train one SAGDFN with a generous M, sort the probe sensor's
+// learned attention weights, and recompute its diffused representation
+// (D+I)^{-1}(A_s X_I + X) using only the strongest m columns for growing
+// m. The relative feature change per added neighbor collapses once the
+// few significant neighbors are in — the marginal neighbor contributes
+// (almost) nothing.
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "baselines/neural_forecaster.h"
+#include "bench_common.h"
+#include "core/sagdfn.h"
+#include "tensor/tensor_ops.h"
+
+namespace sagdfn::bench {
+namespace {
+
+/// Diffused features of `sensor` using only the `keep` strongest columns
+/// of its adjacency row (others zeroed).
+std::vector<double> TruncatedDiffusion(
+    const tensor::Tensor& a_s, const std::vector<int64_t>& index_set,
+    const tensor::Tensor& x, int64_t sensor, int64_t keep) {
+  const int64_t m = a_s.dim(1);
+  // Rank columns by |weight| for this sensor's row.
+  std::vector<int64_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  const float* row = a_s.data() + sensor * m;
+  std::sort(order.begin(), order.end(), [row](int64_t a, int64_t b) {
+    return std::fabs(row[a]) > std::fabs(row[b]);
+  });
+
+  tensor::Tensor truncated = a_s.Clone();
+  float* pt = truncated.data() + sensor * m;
+  for (int64_t j = keep; j < m; ++j) pt[order[j]] = 0.0f;
+
+  tensor::Tensor gathered = tensor::IndexSelect(x, 1, index_set);
+  tensor::Tensor mixed =
+      tensor::Add(tensor::BatchedMatMul(truncated, gathered), x);
+  tensor::Tensor degrees =
+      tensor::Sum(tensor::Abs(truncated), 1, /*keepdim=*/true);
+  tensor::Tensor inv =
+      tensor::Div(tensor::Tensor::Ones(degrees.shape()),
+                  tensor::AddScalar(degrees, 1.0f));
+  tensor::Tensor diffused = tensor::Mul(mixed, inv);
+  std::vector<double> features;
+  for (int64_t c = 0; c < diffused.dim(2); ++c) {
+    features.push_back(diffused.At({0, sensor, c}));
+  }
+  return features;
+}
+
+}  // namespace
+}  // namespace sagdfn::bench
+
+int main(int argc, char** argv) {
+  using namespace sagdfn;
+  auto config = bench::ParseBenchConfig(argc, argv);
+  if (!config.full) {
+    if (config.max_nodes == 0) config.max_nodes = 128;
+    if (config.epochs == 0) config.epochs = 4;
+    if (config.max_train_batches == 0) config.max_train_batches = 15;
+  }
+  bench::PrintHeader("Figure 2: diffusion threshold M for one sensor",
+                     config);
+
+  data::ForecastDataset dataset =
+      bench::LoadDataset("london2000-sim", config);
+  const int64_t sensor =
+      std::min<int64_t>(dataset.num_nodes() - 1, 88);  // "Sensor 883"
+  std::cout << "dataset: " << dataset.num_nodes()
+            << " nodes; probing sensor " << sensor << "\n\n";
+
+  // One trained model with a generous neighborhood.
+  baselines::ModelSizing sizing = bench::MakeModelSizing(config);
+  sizing.sagdfn_m = config.full ? 150 : 32;
+  sizing.sagdfn_k = (sizing.sagdfn_m * 4) / 5;
+  auto forecaster = baselines::MakeSagdfnForecaster(
+      "SAGDFN", sizing, [](core::SagdfnConfig*) {});
+  bench::ModelRun run =
+      bench::RunForecaster(*forecaster, dataset, config, {3});
+  auto* neural =
+      dynamic_cast<baselines::NeuralForecaster*>(forecaster.get());
+  auto* model = dynamic_cast<core::SagdfnModel*>(neural->model());
+  std::cout << "trained with M = " << sizing.sagdfn_m << " (test H3 MAE "
+            << utils::FormatDouble(run.horizon_scores[0].mae, 2) << ")\n\n";
+
+  autograd::NoGradGuard guard;
+  tensor::Tensor a_s = model->ComputeSlimAdjacency();
+  data::Batch batch = dataset.GetBatch(data::Split::kTest, 0, 1);
+  tensor::Tensor x = tensor::Slice(batch.x, 1,
+                                   dataset.spec().history - 1,
+                                   dataset.spec().history)
+                         .Reshape({1, dataset.num_nodes(), 2});
+
+  std::vector<int64_t> m_values =
+      config.full ? std::vector<int64_t>{5, 10, 20, 50, 100, 150}
+                  : std::vector<int64_t>{2, 4, 8, 16, 24, 32};
+  utils::TablePrinter table({"neighbors kept (m)", "feature L2 norm",
+                             "distance to full-M features"});
+  std::vector<double> full_features = bench::TruncatedDiffusion(
+      a_s, model->index_set(), x, sensor, a_s.dim(1));
+  double full_norm = 0.0;
+  for (double f : full_features) full_norm += f * f;
+  full_norm = std::max(std::sqrt(full_norm), 1e-9);
+  for (int64_t m : m_values) {
+    std::vector<double> features = bench::TruncatedDiffusion(
+        a_s, model->index_set(), x, sensor, m);
+    double norm = 0.0;
+    double diff = 0.0;
+    for (size_t c = 0; c < features.size(); ++c) {
+      norm += features[c] * features[c];
+      diff += (features[c] - full_features[c]) *
+              (features[c] - full_features[c]);
+    }
+    table.AddRow({std::to_string(m),
+                  utils::FormatDouble(std::sqrt(norm), 4),
+                  utils::FormatDouble(
+                      100.0 * std::sqrt(diff) / full_norm, 2) +
+                      "%"});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape (paper Fig. 2): the distance to the "
+               "full-neighborhood representation falls steeply for the "
+               "first few significant neighbors and flattens well before "
+               "m reaches M — additional neighbors barely move the "
+               "diffused signal, so M ~ 5% of N suffices.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Google-benchmark micro-benchmarks for the kernels behind the paper's
+// complexity claims: matmul, entmax, SNS sampling, slim vs dense graph
+// diffusion, and a full SAGDFN forward step.
+#include <benchmark/benchmark.h>
+
+#include "core/entmax.h"
+#include "core/sagdfn.h"
+#include "core/sns.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  utils::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Normal(tensor::Shape({n, n}), rng);
+  tensor::Tensor b = tensor::Tensor::Normal(tensor::Shape({n, n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EntmaxForward(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const float alpha = static_cast<float>(state.range(1)) / 10.0f;
+  utils::Rng rng(2);
+  tensor::Tensor z =
+      tensor::Tensor::Normal(tensor::Shape({rows, 64}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EntmaxForward(z, alpha, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_EntmaxForward)
+    ->Args({256, 10})   // alpha = 1.0 (softmax fast path)
+    ->Args({256, 15})   // alpha = 1.5 (bisection)
+    ->Args({256, 20});  // alpha = 2.0
+
+void BM_EntmaxBackward(benchmark::State& state) {
+  utils::Rng rng(3);
+  tensor::Tensor z =
+      tensor::Tensor::Normal(tensor::Shape({256, 64}), rng);
+  tensor::Tensor p = core::EntmaxForward(z, 1.5f, 1);
+  tensor::Tensor g =
+      tensor::Tensor::Normal(tensor::Shape({256, 64}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EntmaxBackward(p, g, 1.5f, 1));
+  }
+}
+BENCHMARK(BM_EntmaxBackward);
+
+void BM_SignificantNeighborSampling(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  core::SignificantNeighborSampler sampler(n, 20, 16, 4);
+  utils::Rng rng(5);
+  tensor::Tensor e = tensor::Tensor::Normal(tensor::Shape({n, 16}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(e, true));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 20);
+}
+BENCHMARK(BM_SignificantNeighborSampling)->Arg(256)->Arg(1024)->Arg(2048);
+
+// The paper's central cost contrast: one diffusion application with a
+// slim [N, M] adjacency vs a dense [N, N] adjacency.
+void BM_SlimDiffusion(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t m = 20;
+  const int64_t channels = 16;
+  utils::Rng rng(6);
+  tensor::Tensor a =
+      tensor::Tensor::Uniform(tensor::Shape({n, m}), rng);
+  tensor::Tensor x =
+      tensor::Tensor::Normal(tensor::Shape({4, n, channels}), rng);
+  std::vector<int64_t> index_set(m);
+  for (int64_t i = 0; i < m; ++i) index_set[i] = i;
+  for (auto _ : state) {
+    tensor::Tensor gathered = tensor::IndexSelect(x, 1, index_set);
+    benchmark::DoNotOptimize(
+        tensor::Add(tensor::BatchedMatMul(a, gathered), x));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * m * channels);
+}
+BENCHMARK(BM_SlimDiffusion)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_DenseDiffusion(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t channels = 16;
+  utils::Rng rng(7);
+  tensor::Tensor a = tensor::Tensor::Uniform(tensor::Shape({n, n}), rng);
+  tensor::Tensor x =
+      tensor::Tensor::Normal(tensor::Shape({4, n, channels}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::Add(tensor::BatchedMatMul(a, x), x));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n * channels);
+}
+BENCHMARK(BM_DenseDiffusion)->Arg(256)->Arg(1024);
+
+void BM_SagdfnForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  core::SagdfnConfig config;
+  config.num_nodes = n;
+  config.embedding_dim = 8;
+  config.m = 16;
+  config.k = 12;
+  config.hidden_dim = 16;
+  config.heads = 2;
+  config.ffn_hidden = 8;
+  config.diffusion_steps = 2;
+  config.history = 12;
+  config.horizon = 12;
+  core::SagdfnModel model(config);
+  utils::Rng rng(8);
+  tensor::Tensor x =
+      tensor::Tensor::Normal(tensor::Shape({4, 12, n, 2}), rng);
+  tensor::Tensor tod =
+      tensor::Tensor::Uniform(tensor::Shape({4, 12}), rng);
+  autograd::NoGradGuard guard;
+  model.SetTraining(false);
+  model.Forward(x, tod, 0);  // warm up / fix the index set
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x, tod, 0));
+  }
+}
+BENCHMARK(BM_SagdfnForward)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace sagdfn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces paper Table X: computation cost on CARPARK1918 (simulated)
+// — parameter counts, training seconds per epoch, and inference seconds
+// for DCRNN, AGCRN, MTGNN, GTS, D2STGNN and SAGDFN.
+#include <iostream>
+
+#include "baselines/neural_forecaster.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sagdfn;
+  auto config = bench::ParseBenchConfig(argc, argv);
+  if (!config.full) {
+    // Cost comparison needs relative timings, not converged accuracy;
+    // keep the dense O(N^2) rows cheap.
+    if (config.max_nodes == 0) config.max_nodes = 128;
+    if (config.epochs == 0) config.epochs = 2;
+    if (config.max_train_batches == 0) config.max_train_batches = 10;
+  }
+  bench::PrintHeader(
+      "Table X: computation cost on CARPARK1918 (simulated)", config);
+
+  data::ForecastDataset dataset =
+      bench::LoadDataset("carpark1918-sim", config);
+  std::cout << "dataset: " << dataset.num_nodes() << " nodes; timings are "
+               "single-core CPU (the paper's are V100) — compare "
+               "relatively across rows\n\n";
+
+  utils::TablePrinter table({"Model", "# Parameters", "Train (s/epoch)",
+                             "Inference (s)"});
+  const std::vector<int64_t> horizons = {3};
+  for (const std::string name :
+       {"DCRNN", "AGCRN", "MTGNN", "GTS", "D2STGNN(c)", "SAGDFN"}) {
+    auto forecaster = baselines::MakeForecaster(
+        name, bench::MakeModelSizing(config));
+    bench::ModelRun run =
+        bench::RunForecaster(*forecaster, dataset, config, horizons);
+    double seconds_per_epoch = 0.0;
+    if (auto* neural =
+            dynamic_cast<baselines::NeuralForecaster*>(forecaster.get())) {
+      seconds_per_epoch = neural->train_result().seconds_per_epoch;
+    }
+    table.AddRow({name, std::to_string(run.parameter_count),
+                  utils::FormatDouble(seconds_per_epoch, 2),
+                  utils::FormatDouble(run.inference_seconds, 2)});
+    std::cerr << "[done] " << name << "\n";
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape (paper): SAGDFN has the fewest "
+               "parameters and the lowest train/inference cost among the "
+               "STGNNs.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces paper Table IV: accuracy on the London200 evaluation subset
+// as a function of the number of nodes in the training graph. SAGDFN
+// scales to the biggest graphs; AGCRN / GTS / D2STGNN are trained at the
+// largest size their memory class can process (paper: 1750 / 1000 / 200
+// of 2000; emulated here as the same fractions of the bench's largest
+// size).
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace sagdfn::bench {
+namespace {
+
+struct SizedRun {
+  std::string model;
+  int64_t train_nodes;
+};
+
+metrics::Scores EvalOnSubset(const std::string& model_name,
+                             const data::TimeSeries& series,
+                             int64_t train_nodes, int64_t eval_nodes,
+                             const BenchConfig& config,
+                             std::vector<metrics::Scores>* horizon_out) {
+  data::TimeSeries train_series = data::SliceNodes(series, train_nodes);
+  data::ForecastDataset dataset(
+      train_series, data::DefaultWindowSpec("london2000-sim"));
+  auto forecaster = baselines::MakeForecaster(
+      model_name, MakeModelSizing(config));
+  baselines::FitOptions fit = MakeFitOptions(config);
+  forecaster->Fit(dataset, fit);
+  const int64_t max_windows =
+      fit.max_eval_batches > 0 ? fit.max_eval_batches * fit.batch_size : 0;
+  tensor::Tensor pred =
+      forecaster->Predict(dataset, data::Split::kTest, max_windows);
+  tensor::Tensor truth = baselines::CollectTruth(
+      dataset, data::Split::kTest, pred.dim(0));
+  // Score only the shared evaluation subset (the first eval_nodes).
+  tensor::Tensor pred_sub = tensor::Slice(pred, 2, 0, eval_nodes);
+  tensor::Tensor truth_sub = tensor::Slice(truth, 2, 0, eval_nodes);
+  *horizon_out =
+      metrics::EvaluateHorizons(pred_sub, truth_sub, {3, 6, 12});
+  return (*horizon_out)[0];
+}
+
+}  // namespace
+}  // namespace sagdfn::bench
+
+int main(int argc, char** argv) {
+  using namespace sagdfn;
+  auto config = bench::ParseBenchConfig(argc, argv);
+  bench::PrintHeader(
+      "Table IV: London200 accuracy vs training-graph size", config);
+
+  data::TimeSeries series =
+      data::MakeDataset("london2000-sim", config.scale());
+  const int64_t total = series.num_nodes();
+  const int64_t eval_nodes = config.full ? 200 : total / 5;
+  std::vector<int64_t> sagdfn_sizes;
+  if (config.full) {
+    sagdfn_sizes = {200, 1000, 1750, 2000};
+  } else {
+    sagdfn_sizes = {eval_nodes, 2 * eval_nodes, 3 * eval_nodes, total};
+  }
+  // Baseline caps mirror the paper's max-processable sizes as fractions
+  // of the largest graph (AGCRN 1750/2000, GTS 1000/2000, D2STGNN
+  // 200/2000).
+  const int64_t agcrn_cap = std::max<int64_t>(eval_nodes, total * 7 / 8);
+  const int64_t gts_cap = std::max<int64_t>(eval_nodes, total / 2);
+  const int64_t d2_cap = eval_nodes;
+
+  std::cout << "evaluation subset: first " << eval_nodes << " of " << total
+            << " nodes\n\n";
+
+  utils::TablePrinter table(
+      {"Model", "# nodes in training set", "H3 MAE", "H3 RMSE", "H3 MAPE",
+       "H6 MAE", "H6 RMSE", "H6 MAPE", "H12 MAE", "H12 RMSE",
+       "H12 MAPE"});
+  auto add = [&](const std::string& model, int64_t train_nodes) {
+    std::vector<metrics::Scores> horizons;
+    bench::EvalOnSubset(model, series, train_nodes, eval_nodes, config,
+                        &horizons);
+    std::vector<std::string> row = {model, std::to_string(train_nodes)};
+    for (const auto& s : horizons) {
+      row.push_back(utils::FormatDouble(s.mae, 2));
+      row.push_back(utils::FormatDouble(s.rmse, 2));
+      row.push_back(utils::FormatDouble(s.mape * 100.0, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "[done] " << model << " @ " << train_nodes << " nodes\n";
+  };
+
+  add("AGCRN", agcrn_cap);
+  add("GTS", gts_cap);
+  add("D2STGNN(c)", d2_cap);
+  for (int64_t size : sagdfn_sizes) add("SAGDFN", size);
+
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape (paper, full scale): SAGDFN improves "
+               "monotonically as the training graph grows and beats every "
+               "capped baseline. At quick scale SAGDFN matches/beats the "
+               "capped baselines, but monotonicity needs per-configuration "
+               "convergence (fixed iteration budgets penalize larger "
+               "graphs) — see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Table V: performance comparison on CARPARK1918
+// (simulated stand-in). Models whose memory class OOMs at 1918 nodes on
+// a 32 GB GPU are marked 'x'.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sagdfn::bench::RunLargeDatasetTable(
+      "carpark1918-sim", 1918,
+      "Table V: performance comparison on CARPARK1918 (simulated)", argc,
+      argv);
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Table VI: performance comparison on London2000
+// (simulated stand-in). Models whose memory class OOMs at 2000 nodes on
+// a 32 GB GPU are marked 'x'.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sagdfn::bench::RunLargeDatasetTable(
+      "london2000-sim", 2000,
+      "Table VI: performance comparison on London2000 (simulated)", argc,
+      argv);
+}

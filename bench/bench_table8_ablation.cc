@@ -1,0 +1,64 @@
+// Reproduces paper Table VIII: ablation study on CARPARK1918 (simulated)
+// — SAGDFN vs w/o Entmax, w/o Pair-Wise Attention, w/o SNS, and
+// w/o SNS & SSMA (predefined correlation-topology adjacency, DCRNN-style).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sagdfn;
+  auto config = bench::ParseBenchConfig(argc, argv);
+  bench::PrintHeader(
+      "Table VIII: ablation study on CARPARK1918 (simulated)", config);
+
+  data::ForecastDataset dataset =
+      bench::LoadDataset("carpark1918-sim", config);
+  std::cout << "dataset: " << dataset.num_nodes() << " nodes\n\n";
+
+  const std::vector<int64_t> horizons = {3, 6, 12};
+  utils::TablePrinter table({"CARPARK1918", "H3 MAE", "H3 RMSE", "H3 MAPE",
+                             "H6 MAE", "H6 RMSE", "H6 MAPE", "H12 MAE",
+                             "H12 RMSE", "H12 MAPE"});
+  baselines::ModelSizing sizing = bench::MakeModelSizing(config);
+
+  struct Variant {
+    std::string name;
+    std::function<void(core::SagdfnConfig*)> tweak;
+  };
+  std::vector<Variant> variants = {
+      {"SAGDFN", [](core::SagdfnConfig*) {}},
+      {"w/o Entmax",
+       [](core::SagdfnConfig* c) { c->use_entmax = false; }},
+      {"w/o Attention",
+       [](core::SagdfnConfig* c) { c->use_attention = false; }},
+      {"w/o SNS", [](core::SagdfnConfig* c) { c->use_sns = false; }},
+  };
+  for (const auto& variant : variants) {
+    auto forecaster = baselines::MakeSagdfnForecaster(
+        variant.name, sizing, variant.tweak);
+    bench::ModelRun run =
+        bench::RunForecaster(*forecaster, dataset, config, horizons);
+    bench::AddScoreRow(table, run, horizons.size());
+    std::cerr << "[done] " << variant.name << "\n";
+  }
+
+  // "w/o SNS & SSMA": DCRNN-style predefined topology (top-k correlation
+  // graph), matching the paper's description of this variant.
+  {
+    auto forecaster = baselines::MakeForecaster("DCRNN", sizing);
+    bench::ModelRun run =
+        bench::RunForecaster(*forecaster, dataset, config, horizons);
+    run.name = "w/o SNS & SSMA";
+    bench::AddScoreRow(table, run, horizons.size());
+    std::cerr << "[done] w/o SNS & SSMA\n";
+  }
+
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape (paper, full scale): every ablation "
+               "hurts; removing Entmax and removing SNS & SSMA hurt the "
+               "most. At quick scale (M ~ 16 columns) the variants sit "
+               "within noise of each other: entmax's advantage is noise "
+               "suppression across many weak entries, which needs "
+               "paper-scale M and N to materialize (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: the smallest end-to-end SAGDFN workflow.
+//
+//   1. Generate a small multivariate time series (synthetic traffic).
+//   2. Window it into a forecasting dataset (12 steps in -> 12 out).
+//   3. Build and train a SAGDFN model.
+//   4. Evaluate with the paper's masked MAE/RMSE/MAPE at several horizons.
+//   5. Save the model and reload it into a fresh instance.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/sagdfn.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "data/window_dataset.h"
+#include "nn/serialization.h"
+#include "utils/table_printer.h"
+#include "utils/string_util.h"
+
+int main() {
+  using namespace sagdfn;
+
+  // 1. Synthetic traffic over a latent road network: 32 sensors, 6 days
+  //    at 15-minute resolution.
+  data::TrafficOptions traffic;
+  traffic.num_nodes = 32;
+  traffic.num_days = 6;
+  traffic.steps_per_day = 96;
+  traffic.seed = 7;
+  data::TimeSeries series = data::GenerateTraffic(traffic);
+  std::cout << "generated " << series.num_steps() << " steps x "
+            << series.num_nodes() << " sensors\n";
+
+  // 2. 70/10/20 chronological split, 12-step history -> 12-step horizon.
+  data::ForecastDataset dataset(series, data::WindowSpec{12, 12});
+
+  // 3. A small SAGDFN: M = 8 significant neighbors out of 32 nodes.
+  core::SagdfnConfig config;
+  config.num_nodes = dataset.num_nodes();
+  config.embedding_dim = 8;
+  config.m = 8;
+  config.k = 6;
+  config.hidden_dim = 16;
+  config.heads = 2;
+  config.ffn_hidden = 8;
+  config.diffusion_steps = 2;
+  config.alpha = 1.5f;
+  config.history = 12;
+  config.horizon = 12;
+  core::SagdfnModel model(config);
+  std::cout << "model: " << model.ParameterCount()
+            << " trainable parameters\n";
+
+  core::TrainOptions train;
+  train.epochs = 5;
+  train.batch_size = 8;
+  train.learning_rate = 0.02;
+  train.max_train_batches_per_epoch = 20;
+  train.max_eval_batches = 8;
+  train.verbose = true;
+  core::Trainer trainer(&model, &dataset, train);
+  core::TrainResult result = trainer.Train();
+  std::cout << "trained " << result.epochs_run << " epochs in "
+            << utils::FormatDouble(result.total_seconds, 1) << "s; best "
+            << "validation MAE "
+            << utils::FormatDouble(result.best_val_mae, 2) << "\n\n";
+
+  // 4. Paper-style evaluation at horizons 3 / 6 / 12.
+  utils::TablePrinter table({"Horizon", "MAE", "RMSE", "MAPE"});
+  auto scores = trainer.EvaluateSplit(data::Split::kTest, {3, 6, 12});
+  const int64_t horizons[] = {3, 6, 12};
+  for (size_t i = 0; i < scores.size(); ++i) {
+    table.AddRow({std::to_string(horizons[i]),
+                  utils::FormatDouble(scores[i].mae, 2),
+                  utils::FormatDouble(scores[i].rmse, 2),
+                  utils::FormatDouble(scores[i].mape * 100, 1) + "%"});
+  }
+  std::cout << table.ToString() << "\n";
+
+  // 5. Checkpoint round-trip.
+  const std::string path = "quickstart_model.ckpt";
+  utils::Status status = nn::SaveModule(model, path);
+  if (!status.ok()) {
+    std::cerr << "save failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  core::SagdfnModel restored(config);
+  status = nn::LoadModule(&restored, path);
+  if (!status.ok()) {
+    std::cerr << "load failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "checkpoint round-trip OK (" << path << ")\n";
+  return 0;
+}

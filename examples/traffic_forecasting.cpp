@@ -1,0 +1,72 @@
+// Scenario: city-scale traffic-speed forecasting (the paper's motivating
+// workload). Trains SAGDFN on the METR-LA-regime simulated dataset and
+// compares it against a naive historical average and a per-sensor LSTM,
+// using the shared Forecaster interface the benches also use.
+//
+// Build & run:  ./build/examples/traffic_forecasting [--nodes N]
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "data/registry.h"
+#include "metrics/metrics.h"
+#include "utils/cli.h"
+#include "utils/string_util.h"
+#include "utils/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sagdfn;
+  utils::CommandLine cli(argc, argv);
+  const int64_t max_nodes = cli.GetInt("nodes", 48);
+
+  data::TimeSeries series =
+      data::MakeDataset("metr-la-sim", data::DatasetScale::kQuick);
+  if (max_nodes > 0 && max_nodes < series.num_nodes()) {
+    series = data::SliceNodes(series, max_nodes);
+  }
+  data::ForecastDataset dataset(series,
+                                data::DefaultWindowSpec("metr-la-sim"));
+  std::cout << "traffic dataset: " << dataset.num_nodes() << " sensors, "
+            << dataset.series().num_steps() << " five-minute-class steps\n"
+            << "task: " << dataset.spec().history << " steps in -> "
+            << dataset.spec().horizon << " steps out\n\n";
+
+  baselines::FitOptions fit;
+  fit.epochs = 4;
+  fit.batch_size = 8;
+  fit.learning_rate = 0.02;
+  fit.max_train_batches_per_epoch = 25;
+  fit.max_eval_batches = 10;
+
+  baselines::ModelSizing sizing;
+  sizing.hidden = 16;
+  sizing.sagdfn_m = 12;
+  sizing.sagdfn_k = 9;
+  sizing.sagdfn_embedding = 10;
+
+  utils::TablePrinter table({"Model", "H3 MAE", "H6 MAE", "H12 MAE",
+                             "H12 RMSE", "H12 MAPE", "fit (s)"});
+  for (const std::string name :
+       {"HistoricalAverage", "LSTM", "SAGDFN"}) {
+    auto model = baselines::MakeForecaster(name, sizing);
+    model->Fit(dataset, fit);
+    tensor::Tensor pred = model->Predict(
+        dataset, data::Split::kTest, fit.max_eval_batches * fit.batch_size);
+    tensor::Tensor truth = baselines::CollectTruth(
+        dataset, data::Split::kTest, pred.dim(0));
+    auto scores = metrics::EvaluateHorizons(pred, truth, {3, 6, 12});
+    table.AddRow({name, utils::FormatDouble(scores[0].mae, 2),
+                  utils::FormatDouble(scores[1].mae, 2),
+                  utils::FormatDouble(scores[2].mae, 2),
+                  utils::FormatDouble(scores[2].rmse, 2),
+                  utils::FormatDouble(scores[2].mape * 100, 1) + "%",
+                  utils::FormatDouble(model->LastFitSeconds(), 1)});
+    std::cout << "finished " << name << "\n";
+  }
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nSAGDFN uses the latent road-network correlation LSTM "
+               "cannot see; the historical average is a surprisingly "
+               "strong reference on strongly daily-periodic data and "
+               "takes longer training budgets (--epochs, more batches) "
+               "for the neural models to overtake.\n";
+  return 0;
+}

@@ -1,0 +1,457 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace sagdfn::autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace internal {
+
+Variable MakeOp(const char* name, Tensor value,
+                const std::vector<Variable>& inputs,
+                std::function<void(const Tensor&)> backward) {
+  bool track = GradEnabled();
+  if (track) {
+    track = false;
+    for (const Variable& v : inputs) {
+      if (v.requires_grad()) {
+        track = true;
+        break;
+      }
+    }
+  }
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  if (track) {
+    node->requires_grad = true;
+    node->op_name = name;
+    node->parents.reserve(inputs.size());
+    for (const Variable& v : inputs) node->parents.push_back(v.node());
+    node->backward_fn = std::move(backward);
+  }
+  return Variable::FromNode(std::move(node));
+}
+
+namespace {
+
+/// Accumulates `g` into `node` after reducing over broadcast dims.
+void AccumulateReduced(const std::shared_ptr<Node>& node, const Tensor& g) {
+  if (!node->requires_grad) return;
+  node->AccumulateGrad(tensor::ReduceTo(g, node->value.shape()));
+}
+
+void Accumulate(const std::shared_ptr<Node>& node, const Tensor& g) {
+  if (!node->requires_grad) return;
+  node->AccumulateGrad(g);
+}
+
+}  // namespace
+}  // namespace internal
+
+using internal::Accumulate;
+using internal::AccumulateReduced;
+using internal::MakeOp;
+
+Variable Add(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp("Add", tensor::Add(a.value(), b.value()), {a, b},
+                [na, nb](const Tensor& g) {
+                  AccumulateReduced(na, g);
+                  AccumulateReduced(nb, g);
+                });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp("Sub", tensor::Sub(a.value(), b.value()), {a, b},
+                [na, nb](const Tensor& g) {
+                  AccumulateReduced(na, g);
+                  AccumulateReduced(nb, tensor::Neg(g));
+                });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp("Mul", tensor::Mul(a.value(), b.value()), {a, b},
+                [na, nb](const Tensor& g) {
+                  AccumulateReduced(na, tensor::Mul(g, nb->value));
+                  AccumulateReduced(nb, tensor::Mul(g, na->value));
+                });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp("Div", tensor::Div(a.value(), b.value()), {a, b},
+                [na, nb](const Tensor& g) {
+                  AccumulateReduced(na, tensor::Div(g, nb->value));
+                  // d/db (a/b) = -a / b^2
+                  Tensor gb = tensor::Neg(tensor::Div(
+                      tensor::Mul(g, na->value),
+                      tensor::Mul(nb->value, nb->value)));
+                  AccumulateReduced(nb, gb);
+                });
+}
+
+Variable Neg(const Variable& a) {
+  auto na = a.node();
+  return MakeOp("Neg", tensor::Neg(a.value()), {a},
+                [na](const Tensor& g) { Accumulate(na, tensor::Neg(g)); });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  auto na = a.node();
+  return MakeOp("AddScalar", tensor::AddScalar(a.value(), s), {a},
+                [na](const Tensor& g) { Accumulate(na, g); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  auto na = a.node();
+  return MakeOp("MulScalar", tensor::MulScalar(a.value(), s), {a},
+                [na, s](const Tensor& g) {
+                  Accumulate(na, tensor::MulScalar(g, s));
+                });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp(
+      "MatMul", tensor::MatMul(a.value(), b.value()), {a, b},
+      [na, nb](const Tensor& g) {
+        if (na->requires_grad) {
+          Accumulate(na, tensor::MatMul(g, tensor::Transpose(nb->value, 0, 1)));
+        }
+        if (nb->requires_grad) {
+          Accumulate(nb, tensor::MatMul(tensor::Transpose(na->value, 0, 1), g));
+        }
+      });
+}
+
+Variable BatchedMatMul(const Variable& a, const Variable& b) {
+  auto na = a.node();
+  auto nb = b.node();
+  return MakeOp(
+      "BatchedMatMul", tensor::BatchedMatMul(a.value(), b.value()), {a, b},
+      [na, nb](const Tensor& g) {
+        const Tensor& av = na->value;
+        const Tensor& bv = nb->value;
+        // g: [B, m, n].
+        if (na->requires_grad) {
+          // ga[b] = g[b] @ b[b]^T, reduced over batch when a is 2-D.
+          Tensor bt = bv.ndim() == 3 ? tensor::Transpose(bv, 1, 2)
+                                     : tensor::Transpose(bv, 0, 1);
+          Tensor ga = tensor::BatchedMatMul(g, bt);  // [B, m, k]
+          if (av.ndim() == 2) {
+            ga = tensor::Sum(ga, 0, /*keepdim=*/false);  // [m, k]
+          }
+          Accumulate(na, ga);
+        }
+        if (nb->requires_grad) {
+          // gb[b] = a[b]^T @ g[b], reduced over batch when b is 2-D.
+          Tensor at = av.ndim() == 3 ? tensor::Transpose(av, 1, 2)
+                                     : tensor::Transpose(av, 0, 1);
+          Tensor gb = tensor::BatchedMatMul(at, g);  // [B, k, n]
+          if (bv.ndim() == 2) {
+            gb = tensor::Sum(gb, 0, /*keepdim=*/false);  // [k, n]
+          }
+          Accumulate(nb, gb);
+        }
+      });
+}
+
+Variable Exp(const Variable& a) {
+  auto na = a.node();
+  Tensor out = tensor::Exp(a.value());
+  return MakeOp("Exp", out, {a}, [na, out](const Tensor& g) {
+    Accumulate(na, tensor::Mul(g, out));
+  });
+}
+
+Variable Log(const Variable& a) {
+  auto na = a.node();
+  return MakeOp("Log", tensor::Log(a.value()), {a}, [na](const Tensor& g) {
+    Accumulate(na, tensor::Div(g, na->value));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  auto na = a.node();
+  Tensor out = tensor::Sqrt(a.value());
+  return MakeOp("Sqrt", out, {a}, [na, out](const Tensor& g) {
+    Accumulate(na,
+               tensor::Div(tensor::MulScalar(g, 0.5f),
+                           tensor::Maximum(out, tensor::Tensor::Full(
+                                                    out.shape(), 1e-12f))));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  auto na = a.node();
+  Tensor out = tensor::Tanh(a.value());
+  return MakeOp("Tanh", out, {a}, [na, out](const Tensor& g) {
+    // g * (1 - out^2)
+    Tensor one_minus = tensor::Sub(tensor::Tensor::Ones(out.shape()),
+                                   tensor::Mul(out, out));
+    Accumulate(na, tensor::Mul(g, one_minus));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  auto na = a.node();
+  Tensor out = tensor::Sigmoid(a.value());
+  return MakeOp("Sigmoid", out, {a}, [na, out](const Tensor& g) {
+    // g * out * (1 - out)
+    Tensor d = tensor::Mul(
+        out, tensor::Sub(tensor::Tensor::Ones(out.shape()), out));
+    Accumulate(na, tensor::Mul(g, d));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  auto na = a.node();
+  return MakeOp("Relu", tensor::Relu(a.value()), {a}, [na](const Tensor& g) {
+    Tensor masked(g.shape());
+    const float* pg = g.data();
+    const float* pa = na->value.data();
+    float* pm = masked.data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      pm[i] = pa[i] > 0.0f ? pg[i] : 0.0f;
+    }
+    Accumulate(na, masked);
+  });
+}
+
+Variable Abs(const Variable& a) {
+  auto na = a.node();
+  return MakeOp("Abs", tensor::Abs(a.value()), {a}, [na](const Tensor& g) {
+    Accumulate(na, tensor::Mul(g, tensor::Sign(na->value)));
+  });
+}
+
+Variable Pow(const Variable& a, float p) {
+  auto na = a.node();
+  return MakeOp("Pow", tensor::Pow(a.value(), p), {a},
+                [na, p](const Tensor& g) {
+                  Tensor d = tensor::MulScalar(
+                      tensor::Pow(na->value, p - 1.0f), p);
+                  Accumulate(na, tensor::Mul(g, d));
+                });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t canon = in_shape.CanonicalAxis(axis);
+  return MakeOp(
+      "Sum", tensor::Sum(a.value(), axis, keepdim), {a},
+      [na, in_shape, canon, keepdim](const Tensor& g) {
+        Tensor gk = g;
+        if (!keepdim) {
+          std::vector<int64_t> dims = in_shape.dims();
+          dims[canon] = 1;
+          gk = g.Reshape(dims);
+        }
+        // Broadcast the kept-dim gradient back to the input shape.
+        Accumulate(na,
+                   tensor::Add(gk, tensor::Tensor::Zeros(in_shape)));
+      });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
+  const int64_t n = a.shape().dim(axis);
+  SAGDFN_CHECK_GT(n, 0);
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / n);
+}
+
+Variable Max(const Variable& a, int64_t axis, bool keepdim) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t canon = in_shape.CanonicalAxis(axis);
+  Tensor out = tensor::Max(a.value(), axis, keepdim);
+  Tensor out_keep = keepdim ? out : tensor::Max(a.value(), axis, true);
+  return MakeOp(
+      "Max", out, {a},
+      [na, in_shape, canon, keepdim, out_keep](const Tensor& g) {
+        Tensor gk = g;
+        if (!keepdim) {
+          std::vector<int64_t> dims = in_shape.dims();
+          dims[canon] = 1;
+          gk = g.Reshape(dims);
+        }
+        // Route gradient to the (first) max element per slice.
+        Tensor grad_in = tensor::Tensor::Zeros(in_shape);
+        const auto strides = in_shape.Strides();
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < canon; ++i) outer *= in_shape.dims()[i];
+        for (int64_t i = canon + 1; i < in_shape.ndim(); ++i) {
+          inner *= in_shape.dims()[i];
+        }
+        const int64_t axis_size = in_shape.dims()[canon];
+        const float* pv = na->value.data();
+        const float* pm = out_keep.data();
+        const float* pg = gk.data();
+        float* pgi = grad_in.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t i = 0; i < inner; ++i) {
+            const float max_v = pm[o * inner + i];
+            for (int64_t x = 0; x < axis_size; ++x) {
+              const int64_t off = (o * axis_size + x) * inner + i;
+              if (pv[off] == max_v) {
+                pgi[off] += pg[o * inner + i];
+                break;
+              }
+            }
+          }
+        }
+        Accumulate(na, grad_in);
+      });
+}
+
+Variable SumAll(const Variable& a) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  return MakeOp("SumAll", tensor::SumAll(a.value()), {a},
+                [na, in_shape](const Tensor& g) {
+                  Accumulate(na, tensor::Tensor::Full(in_shape, g.Item()));
+                });
+}
+
+Variable MeanAll(const Variable& a) {
+  SAGDFN_CHECK_GT(a.size(), 0);
+  return MulScalar(SumAll(a), 1.0f / a.size());
+}
+
+Variable Reshape(const Variable& a, std::vector<int64_t> dims) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  return MakeOp("Reshape", a.value().Reshape(std::move(dims)), {a},
+                [na, in_shape](const Tensor& g) {
+                  Accumulate(na, g.Reshape(in_shape.dims()));
+                });
+}
+
+Variable Transpose(const Variable& a, int64_t axis0, int64_t axis1) {
+  auto na = a.node();
+  return MakeOp("Transpose", tensor::Transpose(a.value(), axis0, axis1),
+                {a}, [na, axis0, axis1](const Tensor& g) {
+                  Accumulate(na, tensor::Transpose(g, axis0, axis1));
+                });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  SAGDFN_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  Tensor out = tensor::Concat(values, axis);
+  const int64_t canon = parts[0].shape().CanonicalAxis(axis);
+  std::vector<std::shared_ptr<internal::Node>> nodes;
+  std::vector<int64_t> sizes;
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    sizes.push_back(p.dim(canon));
+  }
+  return MakeOp("Concat", out, parts,
+                [nodes, sizes, canon](const Tensor& g) {
+                  int64_t offset = 0;
+                  for (size_t i = 0; i < nodes.size(); ++i) {
+                    if (nodes[i]->requires_grad) {
+                      Accumulate(nodes[i], tensor::Slice(g, canon, offset,
+                                                         offset + sizes[i]));
+                    }
+                    offset += sizes[i];
+                  }
+                });
+}
+
+Variable Stack(const std::vector<Variable>& parts, int64_t axis) {
+  SAGDFN_CHECK(!parts.empty());
+  const int64_t rank = parts[0].shape().ndim();
+  int64_t canon = axis < 0 ? axis + rank + 1 : axis;
+  SAGDFN_CHECK_GE(canon, 0);
+  SAGDFN_CHECK_LE(canon, rank);
+  std::vector<Variable> expanded;
+  expanded.reserve(parts.size());
+  for (const Variable& p : parts) {
+    std::vector<int64_t> dims = p.shape().dims();
+    dims.insert(dims.begin() + canon, 1);
+    expanded.push_back(Reshape(p, std::move(dims)));
+  }
+  return Concat(expanded, canon);
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t canon = in_shape.CanonicalAxis(axis);
+  return MakeOp(
+      "Slice", tensor::Slice(a.value(), axis, start, end), {a},
+      [na, in_shape, canon, start, end](const Tensor& g) {
+        Tensor grad_in = tensor::Tensor::Zeros(in_shape);
+        std::vector<int64_t> indices(end - start);
+        for (int64_t i = start; i < end; ++i) indices[i - start] = i;
+        tensor::IndexAddInto(grad_in, canon, indices, g);
+        Accumulate(na, grad_in);
+      });
+}
+
+Variable IndexSelect(const Variable& a, int64_t axis,
+                     std::vector<int64_t> indices) {
+  auto na = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t canon = in_shape.CanonicalAxis(axis);
+  Tensor out = tensor::IndexSelect(a.value(), axis, indices);
+  return MakeOp("IndexSelect", out, {a},
+                [na, in_shape, canon,
+                 indices = std::move(indices)](const Tensor& g) {
+                  Tensor grad_in = tensor::Tensor::Zeros(in_shape);
+                  tensor::IndexAddInto(grad_in, canon, indices, g);
+                  Accumulate(na, grad_in);
+                });
+}
+
+Variable Expand(const Variable& a, const Shape& shape) {
+  Variable zeros(Tensor::Zeros(shape), /*requires_grad=*/false);
+  return Add(a, zeros);
+}
+
+Variable Softmax(const Variable& a, int64_t axis) {
+  // Shift by a detached max: softmax is shift-invariant, so the gradient
+  // is unaffected and the exp stays bounded.
+  Tensor max_const = tensor::Max(a.value(), axis, /*keepdim=*/true);
+  Variable shifted = Sub(a, Variable(max_const));
+  Variable e = Exp(shifted);
+  return Div(e, Sum(e, axis, /*keepdim=*/true));
+}
+
+Variable MulMask(const Variable& a, const Tensor& mask) {
+  return Mul(a, Variable(mask));
+}
+
+Variable L1Loss(const Variable& pred, const Variable& target) {
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Variable MseLoss(const Variable& pred, const Variable& target) {
+  Variable diff = Sub(pred, target);
+  return MeanAll(Mul(diff, diff));
+}
+
+Variable MaskedL1Loss(const Variable& pred, const Variable& target,
+                      const Tensor& mask) {
+  float mask_mean = tensor::MeanAll(mask).Item();
+  SAGDFN_CHECK_GT(mask_mean, 0.0f) << "all-zero mask in MaskedL1Loss";
+  Variable masked = Mul(Abs(Sub(pred, target)), Variable(mask));
+  return MulScalar(MeanAll(masked), 1.0f / mask_mean);
+}
+
+}  // namespace sagdfn::autograd

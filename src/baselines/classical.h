@@ -1,0 +1,102 @@
+#ifndef SAGDFN_BASELINES_CLASSICAL_H_
+#define SAGDFN_BASELINES_CLASSICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/forecaster.h"
+
+namespace sagdfn::baselines {
+
+/// Historical average: predicts the per-(node, time-of-day) training mean.
+/// Nonparametric; the weakest sensible reference.
+class HistoricalAverage : public Forecaster {
+ public:
+  std::string name() const override { return "HistoricalAverage"; }
+  void Fit(const data::ForecastDataset& dataset,
+           const FitOptions& options) override;
+  tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                         data::Split split, int64_t max_windows) override;
+  double LastFitSeconds() const override { return fit_seconds_; }
+
+ private:
+  int64_t steps_per_day_ = 0;
+  /// [steps_per_day, N] training means.
+  tensor::Tensor means_;
+  double fit_seconds_ = 0.0;
+};
+
+/// AR(p) per node with intercept, fitted by ridge least squares on the
+/// scaled training series and rolled out recursively — the paper's
+/// "ARIMA" entry (integration/MA terms omitted; the data are stationary
+/// after z-scoring, which is where ARIMA's AR core does its work).
+class ArForecaster : public Forecaster {
+ public:
+  explicit ArForecaster(int64_t order = 6, double ridge = 1e-3);
+  std::string name() const override { return "ARIMA"; }
+  void Fit(const data::ForecastDataset& dataset,
+           const FitOptions& options) override;
+  tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                         data::Split split, int64_t max_windows) override;
+  int64_t ParameterCount() const override;
+  double LastFitSeconds() const override { return fit_seconds_; }
+
+ private:
+  int64_t order_;
+  double ridge_;
+  /// [N, order + 1] per-node coefficients (last entry is the intercept).
+  std::vector<double> coef_;
+  int64_t num_nodes_ = 0;
+  double fit_seconds_ = 0.0;
+};
+
+/// VAR(p): X_{t+1} = sum_l A_l X_{t-l} + c with full N x N lag matrices,
+/// fitted by ridge least squares. All N equations share one Gram
+/// factorization, so the fit is a single Cholesky of size (N p + 1).
+class VarForecaster : public Forecaster {
+ public:
+  explicit VarForecaster(int64_t order = 2, double ridge = 1e-1);
+  std::string name() const override { return "VAR"; }
+  void Fit(const data::ForecastDataset& dataset,
+           const FitOptions& options) override;
+  tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                         data::Split split, int64_t max_windows) override;
+  int64_t ParameterCount() const override;
+  double LastFitSeconds() const override { return fit_seconds_; }
+
+ private:
+  int64_t order_;
+  double ridge_;
+  /// [N p + 1, N] stacked coefficients (row-major), column j = equation j.
+  std::vector<double> coef_;
+  int64_t num_nodes_ = 0;
+  double fit_seconds_ = 0.0;
+};
+
+/// Linear epsilon-insensitive SVR on the scaled history window, shared
+/// across nodes, direct multi-horizon output (one weight row per horizon
+/// step); trained by subgradient descent.
+class SvrForecaster : public Forecaster {
+ public:
+  explicit SvrForecaster(double epsilon = 0.05, double l2 = 1e-4);
+  std::string name() const override { return "SVR"; }
+  void Fit(const data::ForecastDataset& dataset,
+           const FitOptions& options) override;
+  tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                         data::Split split, int64_t max_windows) override;
+  int64_t ParameterCount() const override;
+  double LastFitSeconds() const override { return fit_seconds_; }
+
+ private:
+  double epsilon_;
+  double l2_;
+  int64_t history_ = 0;
+  int64_t horizon_ = 0;
+  /// [horizon, history + 1] weights (+ intercept).
+  std::vector<double> weights_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_CLASSICAL_H_

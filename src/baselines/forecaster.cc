@@ -1,0 +1,31 @@
+#include "baselines/forecaster.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace sagdfn::baselines {
+
+tensor::Tensor CollectTruth(const data::ForecastDataset& dataset,
+                            data::Split split, int64_t max_windows) {
+  int64_t windows = dataset.NumSamples(split);
+  if (max_windows > 0) windows = std::min(windows, max_windows);
+  const int64_t f = dataset.spec().horizon;
+  const int64_t n = dataset.num_nodes();
+  tensor::Tensor all =
+      tensor::Tensor::Zeros(tensor::Shape({windows, f, n}));
+  constexpr int64_t kChunk = 64;
+  int64_t written = 0;
+  while (written < windows) {
+    const int64_t take = std::min(kChunk, windows - written);
+    std::vector<int64_t> offsets(take);
+    for (int64_t i = 0; i < take; ++i) offsets[i] = written + i;
+    data::Batch batch = dataset.GetBatchAt(split, offsets);
+    std::copy(batch.y.data(), batch.y.data() + batch.y.size(),
+              all.data() + written * f * n);
+    written += take;
+  }
+  return all;
+}
+
+}  // namespace sagdfn::baselines

@@ -1,0 +1,59 @@
+#ifndef SAGDFN_BASELINES_FORECASTER_H_
+#define SAGDFN_BASELINES_FORECASTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/window_dataset.h"
+#include "tensor/tensor.h"
+
+namespace sagdfn::baselines {
+
+/// Options shared by every baseline's fitting procedure. Neural baselines
+/// interpret these as training-loop knobs; classical ones use what
+/// applies.
+struct FitOptions {
+  int64_t epochs = 3;
+  int64_t batch_size = 8;
+  double learning_rate = 0.01;
+  /// 0 = unlimited.
+  int64_t max_train_batches_per_epoch = 0;
+  int64_t max_eval_batches = 0;
+  bool verbose = false;
+  uint64_t seed = 5;
+};
+
+/// Uniform interface every baseline (classical and neural) and SAGDFN
+/// itself implement, so the bench harness runs the paper's tables with a
+/// single loop.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Model name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Fits on the dataset's training split.
+  virtual void Fit(const data::ForecastDataset& dataset,
+                   const FitOptions& options) = 0;
+
+  /// Predicts up to `max_windows` windows (0 = all) of `split` in original
+  /// units: [S, f, N].
+  virtual tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                                 data::Split split,
+                                 int64_t max_windows) = 0;
+
+  /// Trainable parameter count (0 for nonparametric models).
+  virtual int64_t ParameterCount() const { return 0; }
+
+  /// Seconds spent in the last Fit() (filled by implementations).
+  virtual double LastFitSeconds() const { return 0.0; }
+};
+
+/// Collects ground truth aligned with Predict(): [S, f, N].
+tensor::Tensor CollectTruth(const data::ForecastDataset& dataset,
+                            data::Split split, int64_t max_windows);
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_FORECASTER_H_

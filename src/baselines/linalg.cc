@@ -1,0 +1,59 @@
+#include "baselines/linalg.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace sagdfn::baselines {
+
+std::vector<double> RidgeSolve(std::vector<double> gram, int64_t p,
+                               const std::vector<double>& rhs, int64_t q,
+                               double lambda) {
+  SAGDFN_CHECK_GT(p, 0);
+  SAGDFN_CHECK_GT(q, 0);
+  SAGDFN_CHECK_GT(lambda, 0.0);
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(gram.size()), p * p);
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(rhs.size()), p * q);
+
+  for (int64_t i = 0; i < p; ++i) gram[i * p + i] += lambda;
+
+  // In-place Cholesky: gram = L L^T (lower triangle of gram holds L).
+  for (int64_t j = 0; j < p; ++j) {
+    double diag = gram[j * p + j];
+    for (int64_t k = 0; k < j; ++k) {
+      diag -= gram[j * p + k] * gram[j * p + k];
+    }
+    SAGDFN_CHECK_GT(diag, 0.0) << "Cholesky breakdown at " << j;
+    const double ljj = std::sqrt(diag);
+    gram[j * p + j] = ljj;
+    for (int64_t i = j + 1; i < p; ++i) {
+      double v = gram[i * p + j];
+      for (int64_t k = 0; k < j; ++k) {
+        v -= gram[i * p + k] * gram[j * p + k];
+      }
+      gram[i * p + j] = v / ljj;
+    }
+  }
+
+  // Solve L Z = R, then L^T W = Z, column by column.
+  std::vector<double> w(rhs);
+  for (int64_t c = 0; c < q; ++c) {
+    for (int64_t i = 0; i < p; ++i) {
+      double v = w[i * q + c];
+      for (int64_t k = 0; k < i; ++k) {
+        v -= gram[i * p + k] * w[k * q + c];
+      }
+      w[i * q + c] = v / gram[i * p + i];
+    }
+    for (int64_t i = p - 1; i >= 0; --i) {
+      double v = w[i * q + c];
+      for (int64_t k = i + 1; k < p; ++k) {
+        v -= gram[k * p + i] * w[k * q + c];
+      }
+      w[i * q + c] = v / gram[i * p + i];
+    }
+  }
+  return w;
+}
+
+}  // namespace sagdfn::baselines

@@ -1,0 +1,22 @@
+#ifndef SAGDFN_BASELINES_LINALG_H_
+#define SAGDFN_BASELINES_LINALG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sagdfn::baselines {
+
+/// Solves the ridge regression normal equations
+///   (X^T X + lambda I) W = X^T Y
+/// for W [p, q], given the Gram matrix G = X^T X [p, p] (row-major) and
+/// right-hand side R = X^T Y [p, q], via in-place Cholesky. The Gram
+/// matrix must be symmetric positive semi-definite; `lambda` > 0
+/// guarantees a solution. Used by the AR/VAR classical baselines, whose
+/// equations share one Gram factorization.
+std::vector<double> RidgeSolve(std::vector<double> gram, int64_t p,
+                               const std::vector<double>& rhs, int64_t q,
+                               double lambda);
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_LINALG_H_

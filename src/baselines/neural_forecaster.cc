@@ -1,0 +1,50 @@
+#include "baselines/neural_forecaster.h"
+
+#include "utils/check.h"
+#include "utils/stopwatch.h"
+
+namespace sagdfn::baselines {
+
+NeuralForecaster::NeuralForecaster(
+    std::string name,
+    std::function<std::unique_ptr<core::SeqModel>(
+        const data::ForecastDataset&)>
+        factory)
+    : name_(std::move(name)), factory_(std::move(factory)) {}
+
+void NeuralForecaster::Fit(const data::ForecastDataset& dataset,
+                           const FitOptions& options) {
+  utils::Stopwatch watch;
+  model_ = factory_(dataset);
+  SAGDFN_CHECK(model_ != nullptr);
+
+  core::TrainOptions train_options;
+  train_options.epochs = options.epochs;
+  train_options.batch_size = options.batch_size;
+  train_options.learning_rate = options.learning_rate;
+  train_options.max_train_batches_per_epoch =
+      options.max_train_batches_per_epoch;
+  train_options.max_eval_batches = options.max_eval_batches;
+  train_options.verbose = options.verbose;
+  train_options.seed = options.seed;
+
+  trainer_ = std::make_unique<core::Trainer>(model_.get(), &dataset,
+                                             train_options);
+  train_result_ = trainer_->Train();
+  fit_seconds_ = watch.ElapsedSeconds();
+}
+
+tensor::Tensor NeuralForecaster::Predict(
+    const data::ForecastDataset& dataset, data::Split split,
+    int64_t max_windows) {
+  SAGDFN_CHECK(trainer_ != nullptr) << "Fit() before Predict()";
+  (void)dataset;
+  (void)max_windows;  // the trainer's max_eval_batches caps evaluation
+  return trainer_->Predict(split);
+}
+
+int64_t NeuralForecaster::ParameterCount() const {
+  return model_ != nullptr ? model_->ParameterCount() : 0;
+}
+
+}  // namespace sagdfn::baselines

@@ -1,0 +1,53 @@
+#ifndef SAGDFN_BASELINES_NEURAL_FORECASTER_H_
+#define SAGDFN_BASELINES_NEURAL_FORECASTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/forecaster.h"
+#include "core/seq_model.h"
+#include "core/trainer.h"
+
+namespace sagdfn::baselines {
+
+/// Adapts any core::SeqModel to the Forecaster interface: Fit() runs the
+/// shared Trainer (Adam + L1), Predict() rolls the model over a split.
+class NeuralForecaster : public Forecaster {
+ public:
+  /// Builds the model lazily at Fit() time (so the dataset's node count is
+  /// known). The factory receives the dataset.
+  NeuralForecaster(
+      std::string name,
+      std::function<std::unique_ptr<core::SeqModel>(
+          const data::ForecastDataset&)>
+          factory);
+
+  std::string name() const override { return name_; }
+  void Fit(const data::ForecastDataset& dataset,
+           const FitOptions& options) override;
+  tensor::Tensor Predict(const data::ForecastDataset& dataset,
+                         data::Split split, int64_t max_windows) override;
+  int64_t ParameterCount() const override;
+  double LastFitSeconds() const override { return fit_seconds_; }
+
+  /// Training telemetry from the last Fit() (Table X columns).
+  const core::TrainResult& train_result() const { return train_result_; }
+
+  /// The live model (null before Fit()).
+  core::SeqModel* model() { return model_.get(); }
+
+ private:
+  std::string name_;
+  std::function<std::unique_ptr<core::SeqModel>(
+      const data::ForecastDataset&)>
+      factory_;
+  std::unique_ptr<core::SeqModel> model_;
+  std::unique_ptr<core::Trainer> trainer_;
+  core::TrainResult train_result_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_NEURAL_FORECASTER_H_

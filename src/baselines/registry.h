@@ -1,0 +1,60 @@
+#ifndef SAGDFN_BASELINES_REGISTRY_H_
+#define SAGDFN_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "core/memory_model.h"
+#include "core/sagdfn.h"
+
+namespace sagdfn::baselines {
+
+/// Shared sizing for all models in one experiment, so table comparisons
+/// are apples-to-apples. Defaults are the CPU quick scale; benches pass
+/// larger values under --full.
+struct ModelSizing {
+  int64_t hidden = 16;
+  int64_t embedding = 8;
+  int64_t diffusion_steps = 2;
+  /// SAGDFN-specific knobs (paper defaults M=100, K=80, 8 heads, d=100).
+  int64_t sagdfn_m = 20;
+  int64_t sagdfn_k = 16;
+  int64_t sagdfn_heads = 2;
+  int64_t sagdfn_ffn_hidden = 8;
+  int64_t sagdfn_embedding = 16;
+  float alpha = 1.5f;
+  int64_t convergence_iters = 30;
+  /// k of the correlation-kNN predefined graph.
+  int64_t corr_knn = 8;
+  uint64_t seed = 5;
+};
+
+/// The baselines of paper Table III in table order (classical + STGNN).
+std::vector<std::string> PaperBaselineNames();
+
+/// The non-GNN baselines of paper Table IX.
+std::vector<std::string> NonGnnBaselineNames();
+
+/// Builds a forecaster by its paper-table name ("ARIMA", "DCRNN",
+/// "GRAPH WaveNet", ..., "SAGDFN"). Fatal on unknown names.
+std::unique_ptr<Forecaster> MakeForecaster(const std::string& name,
+                                           const ModelSizing& sizing);
+
+/// Builds a SAGDFN forecaster with an explicit config override applied on
+/// top of the sizing (used by the ablation and sensitivity benches).
+std::unique_ptr<Forecaster> MakeSagdfnForecaster(
+    const std::string& display_name, const ModelSizing& sizing,
+    const std::function<void(core::SagdfnConfig*)>& tweak);
+
+/// Memory-model family of a named baseline (for OOM prediction).
+core::ModelFamily FamilyOf(const std::string& name);
+
+/// True if the memory model knows this name (classical baselines are
+/// excluded — they never OOM on GPU budgets).
+bool HasFamily(const std::string& name);
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_REGISTRY_H_

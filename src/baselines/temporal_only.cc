@@ -1,0 +1,152 @@
+#include "baselines/temporal_only.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace sagdfn::baselines {
+
+namespace ag = ::sagdfn::autograd;
+
+TemporalOnlyModel::TemporalOnlyModel(Kind kind, int64_t history,
+                                     int64_t horizon, int64_t hidden,
+                                     int64_t period, uint64_t seed)
+    : kind_(kind),
+      history_(history),
+      horizon_(horizon),
+      period_(std::min(period, history)) {
+  SAGDFN_CHECK_GT(history, 0);
+  SAGDFN_CHECK_GT(horizon, 0);
+  SAGDFN_CHECK_GT(period_, 0);
+  utils::Rng rng(seed);
+
+  int64_t in_dim = history;
+  switch (kind_) {
+    case Kind::kTimesNet:
+      // Window plus its period-folded positional means.
+      in_dim = history + period_;
+      break;
+    case Kind::kFedformer: {
+      // First min(h, 16) DCT-II coefficients of the window.
+      const int64_t num_freq = std::min<int64_t>(history, 16);
+      dct_basis_ = tensor::Tensor::Zeros(
+          tensor::Shape({history, num_freq}));
+      float* basis = dct_basis_.data();
+      for (int64_t t = 0; t < history; ++t) {
+        for (int64_t k = 0; k < num_freq; ++k) {
+          basis[t * num_freq + k] = static_cast<float>(
+              std::cos(M_PI * (t + 0.5) * k / history) *
+              std::sqrt(2.0 / history));
+        }
+      }
+      in_dim = num_freq;
+      break;
+    }
+    case Kind::kEtsformer:
+      // Smoothed level + detrended residual window.
+      in_dim = history + 1;
+      smoothing_logit_ = RegisterParameter(
+          "smoothing_logit",
+          ag::Variable(tensor::Tensor::Scalar(0.0f).Reshape({1, 1})));
+      break;
+  }
+  trunk_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{in_dim, hidden, horizon_},
+      nn::Activation::kRelu, rng);
+  RegisterModule("trunk", trunk_.get());
+}
+
+std::string TemporalOnlyModel::name() const {
+  switch (kind_) {
+    case Kind::kTimesNet:
+      return "TimesNet";
+    case Kind::kFedformer:
+      return "FEDformer";
+    case Kind::kEtsformer:
+      return "ETSformer";
+  }
+  return "?";
+}
+
+ag::Variable TemporalOnlyModel::ForwardWindow(const ag::Variable& window) {
+  const int64_t rows = window.dim(0);
+  const int64_t h = history_;
+  switch (kind_) {
+    case Kind::kTimesNet: {
+      // Period folding: mean of positions sharing t mod period.
+      std::vector<ag::Variable> slots;
+      slots.reserve(period_);
+      for (int64_t s = 0; s < period_; ++s) {
+        std::vector<int64_t> positions;
+        for (int64_t t = s; t < h; t += period_) positions.push_back(t);
+        ag::Variable cols = ag::IndexSelect(window, 1, positions);
+        slots.push_back(ag::Mean(cols, 1, /*keepdim=*/true));
+      }
+      ag::Variable folded = ag::Concat(slots, 1);  // [rows, period]
+      return trunk_->Forward(ag::Concat({window, folded}, 1));
+    }
+    case Kind::kFedformer: {
+      ag::Variable coeffs =
+          ag::MatMul(window, ag::Variable(dct_basis_));
+      return trunk_->Forward(coeffs);
+    }
+    case Kind::kEtsformer: {
+      // Exponentially-smoothed level with learnable alpha, computed as a
+      // fixed-length weighted sum (weights differentiable through alpha).
+      ag::Variable alpha = ag::Sigmoid(smoothing_logit_);  // [1, 1]
+      ag::Variable one_minus =
+          ag::Sub(ag::Variable(tensor::Tensor::Ones(alpha.shape())), alpha);
+      ag::Variable level = ag::Slice(window, 1, 0, 1);  // l_0 = x_0
+      for (int64_t t = 1; t < h; ++t) {
+        ag::Variable xt = ag::Slice(window, 1, t, t + 1);
+        level = ag::Add(ag::Mul(alpha, xt), ag::Mul(one_minus, level));
+      }
+      ag::Variable features = ag::Concat({window, level}, 1);
+      // Predict residuals around the level, then add it back.
+      ag::Variable residual = trunk_->Forward(features);
+      return ag::Add(residual,
+                     ag::Expand(level, tensor::Shape({rows, horizon_})));
+    }
+  }
+  SAGDFN_CHECK(false);
+  return window;
+}
+
+ag::Variable TemporalOnlyModel::Forward(const tensor::Tensor& x,
+                                        const tensor::Tensor& future_tod,
+                                        int64_t iteration,
+                                        const tensor::Tensor* teacher,
+                                        double teacher_prob) {
+  (void)future_tod;
+  (void)iteration;
+  // Direct multi-horizon head: no autoregressive decoder, no exposure
+  // bias, teacher forcing does not apply.
+  (void)teacher;
+  (void)teacher_prob;
+  SAGDFN_CHECK_EQ(x.ndim(), 4);
+  const int64_t b = x.dim(0);
+  const int64_t h = x.dim(1);
+  const int64_t n = x.dim(2);
+  SAGDFN_CHECK_EQ(h, history_);
+
+  // Channel 0 (the scaled reading), rearranged to [B*N, h].
+  tensor::Tensor window(tensor::Shape({b * n, h}));
+  const float* px = x.data();
+  const int64_t c = x.dim(3);
+  float* pw = window.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t t = 0; t < h; ++t) {
+      for (int64_t i = 0; i < n; ++i) {
+        pw[(bi * n + i) * h + t] = px[((bi * h + t) * n + i) * c];
+      }
+    }
+  }
+
+  ag::Variable pred = ForwardWindow(ag::Variable(window));  // [B*N, f]
+  // [B*N, f] -> [B, f, N].
+  return ag::Transpose(ag::Reshape(pred, {b, n, horizon_}), 1, 2);
+}
+
+}  // namespace sagdfn::baselines

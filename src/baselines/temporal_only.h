@@ -1,0 +1,54 @@
+#ifndef SAGDFN_BASELINES_TEMPORAL_ONLY_H_
+#define SAGDFN_BASELINES_TEMPORAL_ONLY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/seq_model.h"
+#include "nn/mlp.h"
+
+namespace sagdfn::baselines {
+
+/// The three non-GNN long-sequence forecasters of paper Table IX, as
+/// "lite" per-node models with shared weights. Each keeps the mechanism
+/// that defines its family — period folding (TimesNet), frequency-domain
+/// mixing (FEDformer), exponential smoothing decomposition (ETSformer) —
+/// while staying CPU-sized. None of them sees other nodes, which is the
+/// property Table IX isolates.
+class TemporalOnlyModel : public core::SeqModel {
+ public:
+  enum class Kind { kTimesNet, kFedformer, kEtsformer };
+
+  /// `period` is the fold length for TimesNet-lite (e.g. steps per day,
+  /// capped to the history length).
+  TemporalOnlyModel(Kind kind, int64_t history, int64_t horizon,
+                    int64_t hidden, int64_t period, uint64_t seed);
+
+  autograd::Variable Forward(const tensor::Tensor& x,
+                             const tensor::Tensor& future_tod,
+                             int64_t iteration,
+                             const tensor::Tensor* teacher = nullptr,
+                             double teacher_prob = 0.0) override;
+
+  std::string name() const override;
+  int64_t horizon() const override { return horizon_; }
+
+ private:
+  /// History window per node: [B*N, h] -> predictions [B*N, f].
+  autograd::Variable ForwardWindow(const autograd::Variable& window);
+
+  Kind kind_;
+  int64_t history_;
+  int64_t horizon_;
+  int64_t period_;
+  std::unique_ptr<nn::Mlp> trunk_;
+  /// FEDformer-lite: fixed DCT-II basis [h, num_freq].
+  tensor::Tensor dct_basis_;
+  /// ETSformer-lite: learnable smoothing logit (alpha = sigmoid(.)).
+  autograd::Variable smoothing_logit_;
+};
+
+}  // namespace sagdfn::baselines
+
+#endif  // SAGDFN_BASELINES_TEMPORAL_ONLY_H_

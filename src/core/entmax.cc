@@ -1,0 +1,164 @@
+#include "core/entmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "utils/check.h"
+
+namespace sagdfn::core {
+namespace {
+
+constexpr float kMinAlpha = 1.0f;
+constexpr float kMaxAlpha = 4.0f;
+// Below this distance from 1, entmax is numerically indistinguishable
+// from softmax and the closed form is used.
+constexpr float kSoftmaxEpsilon = 1e-4f;
+
+/// Iterates (outer, inner) slices of a tensor along `axis`, presenting
+/// each length-`axis_size` strided vector to `fn(read, write, stride)`.
+struct AxisView {
+  int64_t outer;
+  int64_t axis_size;
+  int64_t inner;
+};
+
+AxisView ViewAt(const tensor::Shape& shape, int64_t axis) {
+  axis = shape.CanonicalAxis(axis);
+  AxisView v{1, shape.dims()[axis], 1};
+  for (int64_t i = 0; i < axis; ++i) v.outer *= shape.dims()[i];
+  for (int64_t i = axis + 1; i < shape.ndim(); ++i) {
+    v.inner *= shape.dims()[i];
+  }
+  return v;
+}
+
+/// Solves one entmax problem for the strided vector z[0], z[stride], ...
+void SolveSlice(const float* z, float* out, int64_t n, int64_t stride,
+                float alpha, int iterations) {
+  const double am1 = alpha - 1.0;
+  const double inv_am1 = 1.0 / am1;
+
+  double z_max = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < n; ++i) {
+    z_max = std::max(z_max, static_cast<double>(z[i * stride]));
+  }
+
+  // f(tau) = sum [( (alpha-1) z_i - tau )_+]^{1/(alpha-1)} - 1 is strictly
+  // decreasing; it is >= 0 at tau_lo and < 0 at tau_hi.
+  double tau_lo = am1 * z_max - 1.0;
+  double tau_hi = am1 * z_max;
+  auto mass = [&](double tau) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double t = am1 * z[i * stride] - tau;
+      if (t > 0.0) total += std::pow(t, inv_am1);
+    }
+    return total;
+  };
+  for (int it = 0; it < iterations; ++it) {
+    const double mid = 0.5 * (tau_lo + tau_hi);
+    if (mass(mid) >= 1.0) {
+      tau_lo = mid;
+    } else {
+      tau_hi = mid;
+    }
+  }
+  const double tau = 0.5 * (tau_lo + tau_hi);
+
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double t = am1 * z[i * stride] - tau;
+    const double p = t > 0.0 ? std::pow(t, inv_am1) : 0.0;
+    out[i * stride] = static_cast<float>(p);
+    total += p;
+  }
+  // Renormalize the residual bisection error so the simplex constraint
+  // holds exactly.
+  if (total > 0.0) {
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t i = 0; i < n; ++i) out[i * stride] *= inv;
+  }
+}
+
+}  // namespace
+
+tensor::Tensor EntmaxForward(const tensor::Tensor& z, float alpha,
+                             int64_t axis, int iterations) {
+  SAGDFN_CHECK_GE(alpha, kMinAlpha);
+  SAGDFN_CHECK_LE(alpha, kMaxAlpha);
+  SAGDFN_CHECK_GT(iterations, 0);
+  if (alpha - 1.0f < kSoftmaxEpsilon) {
+    return tensor::Softmax(z, axis);
+  }
+  const AxisView v = ViewAt(z.shape(), axis);
+  tensor::Tensor out(z.shape());
+  const float* pz = z.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < v.outer; ++o) {
+    for (int64_t i = 0; i < v.inner; ++i) {
+      const int64_t base = o * v.axis_size * v.inner + i;
+      SolveSlice(pz + base, po + base, v.axis_size, v.inner, alpha,
+                 iterations);
+    }
+  }
+  return out;
+}
+
+tensor::Tensor EntmaxBackward(const tensor::Tensor& p,
+                              const tensor::Tensor& grad_output, float alpha,
+                              int64_t axis) {
+  SAGDFN_CHECK(p.shape() == grad_output.shape());
+  const AxisView v = ViewAt(p.shape(), axis);
+  tensor::Tensor grad_in(p.shape());
+  const float* pp = p.data();
+  const float* pg = grad_output.data();
+  float* po = grad_in.data();
+  const double exponent = 2.0 - alpha;
+
+  for (int64_t o = 0; o < v.outer; ++o) {
+    for (int64_t i = 0; i < v.inner; ++i) {
+      const int64_t base = o * v.axis_size * v.inner + i;
+      // s_i = p_i^(2 - alpha) on the support; J = diag(s) - s s^T / sum(s).
+      double s_sum = 0.0;
+      double sg_sum = 0.0;
+      for (int64_t x = 0; x < v.axis_size; ++x) {
+        const int64_t off = base + x * v.inner;
+        if (pp[off] > 0.0f) {
+          const double s = std::pow(static_cast<double>(pp[off]), exponent);
+          s_sum += s;
+          sg_sum += s * pg[off];
+        }
+      }
+      const double ratio = s_sum > 0.0 ? sg_sum / s_sum : 0.0;
+      for (int64_t x = 0; x < v.axis_size; ++x) {
+        const int64_t off = base + x * v.inner;
+        if (pp[off] > 0.0f) {
+          const double s = std::pow(static_cast<double>(pp[off]), exponent);
+          po[off] = static_cast<float>(s * (pg[off] - ratio));
+        } else {
+          po[off] = 0.0f;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+autograd::Variable Entmax(const autograd::Variable& z, float alpha,
+                          int64_t axis) {
+  if (alpha - 1.0f < kSoftmaxEpsilon) {
+    return autograd::Softmax(z, axis);
+  }
+  auto nz = z.node();
+  tensor::Tensor out = EntmaxForward(z.value(), alpha, axis);
+  return autograd::internal::MakeOp(
+      "Entmax", out, {z}, [nz, out, alpha, axis](const tensor::Tensor& g) {
+        if (!nz->requires_grad) return;
+        nz->AccumulateGrad(EntmaxBackward(out, g, alpha, axis));
+      });
+}
+
+}  // namespace sagdfn::core

@@ -1,0 +1,43 @@
+#ifndef SAGDFN_CORE_ENTMAX_H_
+#define SAGDFN_CORE_ENTMAX_H_
+
+#include <cstdint>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace sagdfn::core {
+
+/// alpha-entmax (Peters, Niculae & Martins, 2019), the sparsity-inducing
+/// softmax generalization SAGDFN uses to refine spatial attention scores
+/// (paper Eq. 7-8):
+///
+///   entmax_alpha(z) = [(alpha - 1) z - tau 1]_+^{1/(alpha - 1)}
+///
+/// with tau chosen so the output sums to 1. alpha = 1 recovers softmax,
+/// alpha = 2 recovers sparsemax; larger alpha is sparser. The valid range
+/// here is [1.0, 4.0] (the paper tunes within [1.0, 2.5]).
+///
+/// The threshold tau is found by bisection: f(tau) = sum_i [(alpha-1)z_i -
+/// tau]_+^{1/(alpha-1)} - 1 is strictly decreasing and changes sign on
+/// [(alpha-1)max(z) - 1, (alpha-1)max(z)].
+
+/// Forward pass along `axis`. `iterations` bounds the bisection steps; 50
+/// gives ~1e-15 interval width.
+tensor::Tensor EntmaxForward(const tensor::Tensor& z, float alpha,
+                             int64_t axis, int iterations = 50);
+
+/// Analytic vector-Jacobian product. `p` is the forward output;
+/// `grad_output` the upstream gradient. Uses the support-restricted
+/// Jacobian J = diag(s) - s s^T / sum(s) with s_i = p_i^{2 - alpha}.
+tensor::Tensor EntmaxBackward(const tensor::Tensor& p,
+                              const tensor::Tensor& grad_output, float alpha,
+                              int64_t axis);
+
+/// Differentiable entmax along `axis`.
+autograd::Variable Entmax(const autograd::Variable& z, float alpha,
+                          int64_t axis);
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_ENTMAX_H_

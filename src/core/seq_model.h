@@ -1,0 +1,51 @@
+#ifndef SAGDFN_CORE_SEQ_MODEL_H_
+#define SAGDFN_CORE_SEQ_MODEL_H_
+
+#include <string>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+
+namespace sagdfn::core {
+
+/// Interface shared by SAGDFN and every neural baseline: a trainable model
+/// mapping a history window to multi-step scaled predictions. One Trainer
+/// (core/trainer.h) drives any SeqModel, so the paper's Tables III-X all
+/// run through identical training/eval machinery.
+class SeqModel : public nn::Module {
+ public:
+  /// `x`: [B, h, N, C] scaled inputs with covariates; `future_tod`:
+  /// [B, f] time-of-day of the target steps. `iteration` is the global
+  /// training step (models with curricula, like SAGDFN's neighbor
+  /// sampling, key off it; ignored by most). Returns scaled predictions
+  /// [B, f, N].
+  ///
+  /// `teacher` (optional, training only): scaled targets [B, f, N] for
+  /// scheduled sampling — autoregressive decoders feed the ground-truth
+  /// value instead of their own prediction with probability
+  /// `teacher_prob` per decoder step (curriculum learning against
+  /// exposure bias, as in DCRNN's training recipe). Models without an
+  /// autoregressive decoder ignore it.
+  virtual autograd::Variable Forward(const tensor::Tensor& x,
+                                     const tensor::Tensor& future_tod,
+                                     int64_t iteration,
+                                     const tensor::Tensor* teacher = nullptr,
+                                     double teacher_prob = 0.0) = 0;
+
+  /// Human-readable model name for result tables.
+  virtual std::string name() const = 0;
+
+  /// Forecast horizon f this model was built for.
+  virtual int64_t horizon() const = 0;
+
+  /// Called by the Trainer before training with the planned number of
+  /// optimizer iterations. Models with iteration-based curricula (SAGDFN's
+  /// neighbor-sampling convergence r) can calibrate against it.
+  virtual void OnTrainingPlan(int64_t total_iterations) {
+    (void)total_iterations;
+  }
+};
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_SEQ_MODEL_H_

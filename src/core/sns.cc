@@ -1,0 +1,87 @@
+#include "core/sns.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "utils/check.h"
+
+namespace sagdfn::core {
+
+SignificantNeighborSampler::SignificantNeighborSampler(int64_t num_nodes,
+                                                       int64_t m, int64_t k,
+                                                       uint64_t seed)
+    : num_nodes_(num_nodes), m_(m), k_(k), rng_(seed) {
+  SAGDFN_CHECK_GT(k, 0);
+  SAGDFN_CHECK_LE(k, m);
+  SAGDFN_CHECK_LE(m, num_nodes);
+  candidates_.resize(num_nodes_);
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    candidates_[i] = rng_.SampleWithoutReplacement(num_nodes_, m_);
+  }
+}
+
+std::vector<int64_t> SignificantNeighborSampler::Sample(
+    const tensor::Tensor& embeddings, bool explore) {
+  SAGDFN_CHECK_EQ(embeddings.ndim(), 2);
+  SAGDFN_CHECK_EQ(embeddings.dim(0), num_nodes_);
+  const int64_t d = embeddings.dim(1);
+  const float* e = embeddings.data();
+
+  // Lines 1-5: rank each row's candidates by embedding-space distance.
+  std::vector<double> dist(m_);
+  std::vector<int64_t> order(m_);
+  std::vector<int64_t> sorted_row(m_);
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    auto& row = candidates_[i];
+    const float* ei = e + i * d;
+    for (int64_t j = 0; j < m_; ++j) {
+      const float* ej = e + row[j] * d;
+      double sq = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(ei[c]) - ej[c];
+        sq += diff * diff;
+      }
+      dist[j] = sq;
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return dist[a] < dist[b];
+    });
+    for (int64_t j = 0; j < m_; ++j) sorted_row[j] = row[order[j]];
+    row = sorted_row;
+  }
+
+  // Lines 6-7: global significance = frequency in the top-K prefix.
+  std::vector<int64_t> frequency(num_nodes_, 0);
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t j = 0; j < k_; ++j) ++frequency[candidates_[i][j]];
+  }
+  std::vector<int64_t> by_freq(num_nodes_);
+  std::iota(by_freq.begin(), by_freq.end(), 0);
+  std::stable_sort(by_freq.begin(), by_freq.end(),
+                   [&](int64_t a, int64_t b) {
+                     return frequency[a] > frequency[b];
+                   });
+
+  std::vector<int64_t> index_set(by_freq.begin(), by_freq.begin() + k_);
+
+  if (explore) {
+    // Line 8: fill M - K slots from V \ V_K for exploration.
+    std::vector<bool> taken(num_nodes_, false);
+    for (int64_t v : index_set) taken[v] = true;
+    std::vector<int64_t> rest;
+    rest.reserve(num_nodes_ - k_);
+    for (int64_t v = 0; v < num_nodes_; ++v) {
+      if (!taken[v]) rest.push_back(v);
+    }
+    rng_.Shuffle(rest);
+    for (int64_t j = 0; j < m_ - k_; ++j) index_set.push_back(rest[j]);
+  } else {
+    // Converged: take the top-M globally significant nodes outright.
+    index_set.assign(by_freq.begin(), by_freq.begin() + m_);
+  }
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(index_set.size()), m_);
+  return index_set;
+}
+
+}  // namespace sagdfn::core

@@ -1,0 +1,60 @@
+#ifndef SAGDFN_CORE_SNS_H_
+#define SAGDFN_CORE_SNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace sagdfn::core {
+
+/// Significant Neighbors Sampling (paper Algorithm 1).
+///
+/// Maintains a candidate-neighbors matrix C in {0..N-1}^{N x M} (each row
+/// holds M distinct candidate ids, so every node is considered about M
+/// times overall). Each Sample() call:
+///   1. ranks every row's candidates by Euclidean distance to the row's
+///      node in embedding space (closer = more significant), re-sorting C
+///      in place so significant candidates move to the queue front;
+///   2. counts how often each node appears in the top-K prefix across all
+///      rows and keeps the K globally most frequent nodes;
+///   3. fills the remaining M - K slots with random exploration nodes
+///      drawn from V \ V_K (skipped once exploration is disabled, i.e.
+///      after the convergence iteration r).
+///
+/// The returned index set I (|I| = M) is what the Sparse Spatial
+/// Multi-Head Attention module attends over, giving the slim N x M
+/// adjacency its columns.
+class SignificantNeighborSampler {
+ public:
+  /// Requires 0 < k <= m <= num_nodes.
+  SignificantNeighborSampler(int64_t num_nodes, int64_t m, int64_t k,
+                             uint64_t seed);
+
+  /// Runs one sampling round against the current embeddings [N, d].
+  /// With `explore` false the full M slots come from the global
+  /// frequency ranking (no random fill).
+  std::vector<int64_t> Sample(const tensor::Tensor& embeddings,
+                              bool explore);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t m() const { return m_; }
+  int64_t k() const { return k_; }
+
+  /// Candidate row i (for tests; size M, distinct ids).
+  const std::vector<int64_t>& candidates(int64_t row) const {
+    return candidates_[row];
+  }
+
+ private:
+  int64_t num_nodes_;
+  int64_t m_;
+  int64_t k_;
+  utils::Rng rng_;
+  std::vector<std::vector<int64_t>> candidates_;
+};
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_SNS_H_

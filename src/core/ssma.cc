@@ -1,0 +1,73 @@
+#include "core/ssma.h"
+
+#include "nn/init.h"
+#include "utils/check.h"
+
+namespace sagdfn::core {
+
+namespace ag = ::sagdfn::autograd;
+
+SparseSpatialAttention::SparseSpatialAttention(const SsmaConfig& config,
+                                               utils::Rng& rng)
+    : config_(config) {
+  SAGDFN_CHECK_GT(config.embedding_dim, 0);
+  SAGDFN_CHECK_GT(config.m, 0);
+  SAGDFN_CHECK_GT(config.heads, 0);
+  SAGDFN_CHECK_GT(config.ffn_hidden, 0);
+  for (int64_t p = 0; p < config_.heads; ++p) {
+    // FFN_p: 2d -> hidden -> 2 (likely / unlikely correlation scores).
+    head_ffns_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{2 * config_.embedding_dim, config_.ffn_hidden,
+                             2},
+        nn::Activation::kRelu, rng));
+    RegisterModule("ffn" + std::to_string(p), head_ffns_.back().get());
+  }
+  output_proj_ = RegisterParameter(
+      "w_a", ag::Variable(nn::XavierUniform(
+                 tensor::Shape({2 * config_.heads, 1}), rng)));
+}
+
+ag::Variable SparseSpatialAttention::Forward(
+    const ag::Variable& embeddings,
+    const std::vector<int64_t>& index_set) const {
+  const int64_t n = embeddings.dim(0);
+  const int64_t d = embeddings.dim(1);
+  const int64_t m = static_cast<int64_t>(index_set.size());
+  SAGDFN_CHECK_EQ(d, config_.embedding_dim);
+  SAGDFN_CHECK_EQ(m, config_.m);
+
+  // E_bar: [N, M, 2d] = concat(repeat(E_i along M), E_I broadcast along N).
+  ag::Variable e_rows =
+      ag::Expand(ag::Reshape(embeddings, {n, 1, d}),
+                 tensor::Shape({n, m, d}));
+  ag::Variable e_neighbors = ag::Expand(
+      ag::Reshape(ag::IndexSelect(embeddings, 0, index_set), {1, m, d}),
+      tensor::Shape({n, m, d}));
+  ag::Variable e_bar = ag::Concat({e_rows, e_neighbors}, 2);
+
+  // Per-head scores, sparsified along the neighbor (M) axis.
+  std::vector<ag::Variable> head_outputs;
+  head_outputs.reserve(head_ffns_.size());
+  for (const auto& ffn : head_ffns_) {
+    // Mlp consumes rank-3 input as [N, M, 2d] -> [N, M, 2].
+    ag::Variable y = ffn->Forward(e_bar);
+    ag::Variable z = config_.use_entmax
+                         ? Entmax(y, config_.alpha, /*axis=*/1)
+                         : ag::Softmax(y, /*axis=*/1);
+    head_outputs.push_back(z);
+  }
+  ag::Variable z_all = ag::Concat(head_outputs, 2);  // [N, M, 2P]
+
+  // Linear head combination: [N, M, 2P] @ [2P, 1] -> [N, M].
+  ag::Variable a_s = ag::BatchedMatMul(z_all, output_proj_);
+  return ag::Reshape(a_s, {n, m});
+}
+
+ag::Variable InnerProductAdjacency(const ag::Variable& embeddings,
+                                   const std::vector<int64_t>& index_set) {
+  // E [N, d] x E_I^T [d, M] -> [N, M].
+  ag::Variable e_i = ag::IndexSelect(embeddings, 0, index_set);
+  return ag::MatMul(embeddings, ag::Transpose(e_i, 0, 1));
+}
+
+}  // namespace sagdfn::core

@@ -1,0 +1,67 @@
+#ifndef SAGDFN_CORE_SSMA_H_
+#define SAGDFN_CORE_SSMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "core/entmax.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace sagdfn::core {
+
+/// Configuration of the Sparse Spatial Multi-Head Attention module.
+struct SsmaConfig {
+  /// Node embedding dimension d.
+  int64_t embedding_dim = 100;
+  /// Number of significant neighbors M (columns of the slim adjacency).
+  int64_t m = 100;
+  /// Attention heads P.
+  int64_t heads = 8;
+  /// Hidden width of each head's feed-forward network.
+  int64_t ffn_hidden = 16;
+  /// alpha of the entmax normalization (1 = softmax, 2 = sparsemax).
+  float alpha = 1.5f;
+  /// Ablation: replace entmax with plain softmax ("w/o Entmax").
+  bool use_entmax = true;
+};
+
+/// Sparse Spatial Multi-Head Attention (paper Section IV-B, Eq. 1-6).
+///
+/// Given node embeddings E [N, d] and the significant index set I (|I| =
+/// M), produces the slim dense adjacency A_s [N, M]:
+///   E_bar   = concat(repeat(E_i, M), E_I)        [N, M, 2d]
+///   Y^p     = FFN_p(E_bar)                       [N, M, 2]  per head
+///   Z^p     = alpha-entmax(Y^p) along the M axis [N, M, 2]
+///   Z       = concat_p Z^p                       [N, M, 2P]
+///   A_s     = Z W_a                              [N, M]
+///
+/// All parameters (P feed-forward networks and W_a) are trained end-to-end
+/// with the forecasting loss; gradients flow back into E through both the
+/// repeated rows and the gathered neighbor rows.
+class SparseSpatialAttention : public nn::Module {
+ public:
+  SparseSpatialAttention(const SsmaConfig& config, utils::Rng& rng);
+
+  /// Computes A_s for the given embeddings and index set.
+  autograd::Variable Forward(const autograd::Variable& embeddings,
+                             const std::vector<int64_t>& index_set) const;
+
+  const SsmaConfig& config() const { return config_; }
+
+ private:
+  SsmaConfig config_;
+  std::vector<std::unique_ptr<nn::Mlp>> head_ffns_;
+  autograd::Variable output_proj_;  // W_a: [2P, 1]
+};
+
+/// Ablation "w/o Pair-Wise Attention": A_s = E E_I^T (inner product of
+/// node embeddings with the significant-neighbor embeddings).
+autograd::Variable InnerProductAdjacency(
+    const autograd::Variable& embeddings,
+    const std::vector<int64_t>& index_set);
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_SSMA_H_

@@ -1,0 +1,219 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "utils/check.h"
+#include "utils/logging.h"
+#include "utils/rng.h"
+#include "utils/stopwatch.h"
+
+namespace sagdfn::core {
+
+namespace ag = ::sagdfn::autograd;
+
+Trainer::Trainer(SeqModel* model, const data::ForecastDataset* dataset,
+                 TrainOptions options)
+    : model_(model), dataset_(dataset), options_(options) {
+  SAGDFN_CHECK(model_ != nullptr);
+  SAGDFN_CHECK(dataset_ != nullptr);
+  SAGDFN_CHECK_GT(options_.batch_size, 0);
+  SAGDFN_CHECK_EQ(model_->horizon(), dataset_->spec().horizon);
+}
+
+TrainResult Trainer::Train() {
+  TrainResult result;
+  utils::Rng rng(options_.seed);
+  optim::Adam optimizer(model_->Parameters(), options_.learning_rate);
+
+  int64_t planned_iterations = 0;
+  {
+    int64_t per_epoch = dataset_->NumBatches(data::Split::kTrain,
+                                             options_.batch_size);
+    if (options_.max_train_batches_per_epoch > 0) {
+      per_epoch =
+          std::min(per_epoch, options_.max_train_batches_per_epoch);
+    }
+    planned_iterations = per_epoch * options_.epochs;
+    model_->OnTrainingPlan(planned_iterations);
+  }
+  // Scheduled-sampling decay (DCRNN-style inverse sigmoid): start with
+  // mostly ground-truth decoder inputs, end with the model's own
+  // predictions.
+  const double decay_steps =
+      std::max(1.0, static_cast<double>(planned_iterations) / 4.0);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  int64_t bad_epochs = 0;
+  std::vector<tensor::Tensor> best_weights;
+  utils::Stopwatch total_watch;
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    model_->SetTraining(true);
+    std::vector<int64_t> order = dataset_->ShuffledTrainOrder(rng);
+    int64_t num_batches =
+        (static_cast<int64_t>(order.size()) + options_.batch_size - 1) /
+        options_.batch_size;
+    if (options_.max_train_batches_per_epoch > 0) {
+      num_batches =
+          std::min(num_batches, options_.max_train_batches_per_epoch);
+    }
+
+    double epoch_loss = 0.0;
+    for (int64_t bi = 0; bi < num_batches; ++bi) {
+      const int64_t start = bi * options_.batch_size;
+      const int64_t end = std::min<int64_t>(
+          start + options_.batch_size, static_cast<int64_t>(order.size()));
+      std::vector<int64_t> offsets(order.begin() + start,
+                                   order.begin() + end);
+      data::Batch batch =
+          dataset_->GetBatchAt(data::Split::kTrain, offsets);
+
+      const double teacher_prob =
+          decay_steps /
+          (decay_steps + std::exp(iteration_ / decay_steps));
+      ag::Variable pred =
+          model_->Forward(batch.x, batch.future_tod, iteration_,
+                          &batch.y_scaled, teacher_prob);
+      ag::Variable loss;
+      if (options_.mask_missing) {
+        // Mask entries whose raw reading is 0 (missing sensor data).
+        tensor::Tensor mask(batch.y.shape());
+        const float* truth = batch.y.data();
+        float* pm = mask.data();
+        for (int64_t e = 0; e < mask.size(); ++e) {
+          pm[e] = truth[e] != 0.0f ? 1.0f : 0.0f;
+        }
+        loss = ag::MaskedL1Loss(pred, ag::Variable(batch.y_scaled), mask);
+      } else {
+        loss = ag::L1Loss(pred, ag::Variable(batch.y_scaled));
+      }
+
+      model_->ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.params(), options_.grad_clip);
+      optimizer.Step();
+
+      epoch_loss += loss.value().Item();
+      ++iteration_;
+    }
+    epoch_loss /= std::max<int64_t>(num_batches, 1);
+    result.epoch_train_loss.push_back(epoch_loss);
+
+    // Validation MAE in original units.
+    tensor::Tensor val_pred = Predict(data::Split::kValidation);
+    tensor::Tensor val_truth = Truth(data::Split::kValidation);
+    const double val_mae = metrics::MaskedMae(val_pred, val_truth);
+    result.epoch_val_mae.push_back(val_mae);
+    ++result.epochs_run;
+
+    if (options_.verbose) {
+      SAGDFN_LOG(Info) << model_->name() << " epoch " << epoch
+                       << " train_l1=" << epoch_loss
+                       << " val_mae=" << val_mae;
+    }
+
+    if (val_mae < best_val - 1e-9) {
+      best_val = val_mae;
+      bad_epochs = 0;
+      // Snapshot the best-validation weights (restored after training,
+      // the standard METR-LA benchmark protocol).
+      best_weights.clear();
+      for (const auto& p : optimizer.params()) {
+        best_weights.push_back(p.value().Clone());
+      }
+    } else {
+      ++bad_epochs;
+      if (options_.patience > 0 && bad_epochs >= options_.patience) break;
+    }
+  }
+
+  if (!best_weights.empty()) {
+    for (size_t i = 0; i < optimizer.params().size(); ++i) {
+      autograd::Variable param = optimizer.params()[i];  // shared handle
+      param.mutable_value().CopyFrom(best_weights[i]);
+    }
+  }
+
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.seconds_per_epoch =
+      result.epochs_run > 0 ? result.total_seconds / result.epochs_run : 0.0;
+  result.best_val_mae = best_val;
+  return result;
+}
+
+int64_t Trainer::EvalWindowCount(data::Split split) const {
+  int64_t windows = dataset_->NumSamples(split);
+  if (options_.max_eval_batches > 0) {
+    windows = std::min(windows,
+                       options_.max_eval_batches * options_.batch_size);
+  }
+  return windows;
+}
+
+tensor::Tensor Trainer::Predict(data::Split split) {
+  ag::NoGradGuard guard;
+  model_->SetTraining(false);
+  const int64_t windows = EvalWindowCount(split);
+  const int64_t f = dataset_->spec().horizon;
+  const int64_t n = dataset_->num_nodes();
+  tensor::Tensor all =
+      tensor::Tensor::Zeros(tensor::Shape({windows, f, n}));
+
+  int64_t written = 0;
+  while (written < windows) {
+    const int64_t take =
+        std::min(options_.batch_size, windows - written);
+    std::vector<int64_t> offsets(take);
+    for (int64_t i = 0; i < take; ++i) offsets[i] = written + i;
+    data::Batch batch = dataset_->GetBatchAt(split, offsets);
+    ag::Variable pred =
+        model_->Forward(batch.x, batch.future_tod, iteration_);
+    tensor::Tensor unscaled =
+        dataset_->scaler().InverseTransform(pred.value());
+    std::copy(unscaled.data(), unscaled.data() + unscaled.size(),
+              all.data() + written * f * n);
+    written += take;
+  }
+  model_->SetTraining(true);
+  return all;
+}
+
+tensor::Tensor Trainer::Truth(data::Split split) const {
+  const int64_t windows = EvalWindowCount(split);
+  const int64_t f = dataset_->spec().horizon;
+  const int64_t n = dataset_->num_nodes();
+  tensor::Tensor all =
+      tensor::Tensor::Zeros(tensor::Shape({windows, f, n}));
+  int64_t written = 0;
+  while (written < windows) {
+    const int64_t take =
+        std::min(options_.batch_size, windows - written);
+    std::vector<int64_t> offsets(take);
+    for (int64_t i = 0; i < take; ++i) offsets[i] = written + i;
+    data::Batch batch = dataset_->GetBatchAt(split, offsets);
+    std::copy(batch.y.data(), batch.y.data() + batch.y.size(),
+              all.data() + written * f * n);
+    written += take;
+  }
+  return all;
+}
+
+std::vector<metrics::Scores> Trainer::EvaluateSplit(
+    data::Split split, const std::vector<int64_t>& horizons) {
+  tensor::Tensor pred = Predict(split);
+  tensor::Tensor truth = Truth(split);
+  return metrics::EvaluateHorizons(pred, truth, horizons);
+}
+
+double Trainer::TimeInference() {
+  utils::Stopwatch watch;
+  Predict(data::Split::kTest);
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace sagdfn::core

@@ -1,0 +1,84 @@
+#ifndef SAGDFN_CORE_TRAINER_H_
+#define SAGDFN_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/seq_model.h"
+#include "data/window_dataset.h"
+#include "metrics/metrics.h"
+
+namespace sagdfn::core {
+
+/// Training-loop knobs. The paper trains with Adam on L1 loss (Eq. 11);
+/// `max_train_batches_per_epoch` lets CPU benches subsample epochs while
+/// keeping the protocol.
+struct TrainOptions {
+  int64_t epochs = 5;
+  int64_t batch_size = 8;
+  double learning_rate = 0.01;
+  double grad_clip = 5.0;
+  /// 0 = use every training window each epoch.
+  int64_t max_train_batches_per_epoch = 0;
+  /// 0 = evaluate on the whole split.
+  int64_t max_eval_batches = 0;
+  /// Early stopping patience in epochs (0 disables).
+  int64_t patience = 0;
+  /// Excludes missing readings (raw value 0, the METR-LA convention) from
+  /// the training loss, matching the masked evaluation metrics.
+  bool mask_missing = false;
+  bool verbose = false;
+  uint64_t seed = 123;
+};
+
+/// What Train() reports (feeds the paper's Table X cost columns and the
+/// convergence plots).
+struct TrainResult {
+  std::vector<double> epoch_train_loss;
+  std::vector<double> epoch_val_mae;
+  int64_t epochs_run = 0;
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  double best_val_mae = 0.0;
+};
+
+/// Trains any SeqModel on a ForecastDataset with Adam + L1 loss and
+/// evaluates it with the paper's masked metrics.
+class Trainer {
+ public:
+  /// Neither pointer is owned; both must outlive the Trainer.
+  Trainer(SeqModel* model, const data::ForecastDataset* dataset,
+          TrainOptions options);
+
+  /// Runs the full training loop.
+  TrainResult Train();
+
+  /// Predicts a split in original units: [S, f, N] where S is the number
+  /// of evaluated windows (capped by max_eval_batches).
+  tensor::Tensor Predict(data::Split split);
+
+  /// Ground truth aligned with Predict(): [S, f, N].
+  tensor::Tensor Truth(data::Split split) const;
+
+  /// Convenience: per-horizon scores of Predict() vs Truth().
+  std::vector<metrics::Scores> EvaluateSplit(
+      data::Split split, const std::vector<int64_t>& horizons);
+
+  /// Timed average seconds for one inference pass over the (capped) test
+  /// split.
+  double TimeInference();
+
+  int64_t global_iteration() const { return iteration_; }
+
+ private:
+  int64_t EvalWindowCount(data::Split split) const;
+
+  SeqModel* model_;
+  const data::ForecastDataset* dataset_;
+  TrainOptions options_;
+  int64_t iteration_ = 0;
+};
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_TRAINER_H_

@@ -1,0 +1,81 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "utils/string_util.h"
+
+namespace sagdfn::data {
+
+utils::Status WriteCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return utils::Status::NotFound("cannot open for write: " + path);
+  }
+  const int64_t t_steps = series.num_steps();
+  const int64_t n = series.num_nodes();
+  out << "t";
+  for (int64_t i = 0; i < n; ++i) out << ",node_" << i;
+  out << "\n";
+  const float* p = series.values.data();
+  for (int64_t t = 0; t < t_steps; ++t) {
+    out << t;
+    for (int64_t i = 0; i < n; ++i) out << "," << p[t * n + i];
+    out << "\n";
+  }
+  if (!out.good()) {
+    return utils::Status::Internal("write failed: " + path);
+  }
+  return utils::Status::Ok();
+}
+
+utils::StatusOr<TimeSeries> ReadCsv(const std::string& path,
+                                    int64_t steps_per_day) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return utils::Status::NotFound("cannot open: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return utils::Status::InvalidArgument("empty csv: " + path);
+  }
+  const auto columns = utils::Split(header, ',');
+  if (columns.size() < 2 || columns[0] != "t") {
+    return utils::Status::InvalidArgument("bad csv header: " + path);
+  }
+  const int64_t n = static_cast<int64_t>(columns.size()) - 1;
+
+  std::vector<float> values;
+  std::string line;
+  int64_t rows = 0;
+  while (std::getline(in, line)) {
+    if (utils::Trim(line).empty()) continue;
+    const auto fields = utils::Split(line, ',');
+    if (static_cast<int64_t>(fields.size()) != n + 1) {
+      std::ostringstream os;
+      os << "row " << rows << " has " << fields.size()
+         << " fields, expected " << (n + 1);
+      return utils::Status::InvalidArgument(os.str());
+    }
+    for (int64_t i = 1; i <= n; ++i) {
+      double v = 0.0;
+      if (!utils::ParseDouble(fields[i], &v)) {
+        return utils::Status::InvalidArgument("bad value: " + fields[i]);
+      }
+      values.push_back(static_cast<float>(v));
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    return utils::Status::InvalidArgument("csv has no data rows: " + path);
+  }
+  TimeSeries series;
+  series.name = path;
+  series.steps_per_day = steps_per_day;
+  series.values = tensor::Tensor::FromVector(std::move(values),
+                                             tensor::Shape({rows, n}));
+  return series;
+}
+
+}  // namespace sagdfn::data

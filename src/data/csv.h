@@ -1,0 +1,22 @@
+#ifndef SAGDFN_DATA_CSV_H_
+#define SAGDFN_DATA_CSV_H_
+
+#include <string>
+
+#include "data/time_series.h"
+#include "utils/status.h"
+
+namespace sagdfn::data {
+
+/// Writes a TimeSeries as CSV: header "t,node_0,...,node_{N-1}", one row
+/// per time step.
+utils::Status WriteCsv(const TimeSeries& series, const std::string& path);
+
+/// Reads a TimeSeries from the CSV layout produced by WriteCsv.
+/// `steps_per_day` is stored out-of-band and must be supplied.
+utils::StatusOr<TimeSeries> ReadCsv(const std::string& path,
+                                    int64_t steps_per_day);
+
+}  // namespace sagdfn::data
+
+#endif  // SAGDFN_DATA_CSV_H_

@@ -1,0 +1,38 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "utils/check.h"
+
+namespace sagdfn::data {
+
+void StandardScaler::Fit(const tensor::Tensor& values) {
+  SAGDFN_CHECK_GT(values.size(), 0);
+  const float* p = values.data();
+  double sum = 0.0;
+  for (int64_t i = 0; i < values.size(); ++i) sum += p[i];
+  const double mean = sum / values.size();
+  double sq = 0.0;
+  for (int64_t i = 0; i < values.size(); ++i) {
+    const double d = p[i] - mean;
+    sq += d * d;
+  }
+  mean_ = static_cast<float>(mean);
+  std_ = static_cast<float>(std::sqrt(sq / values.size()));
+  if (std_ < 1e-6f) std_ = 1.0f;  // constant series degrade to centering
+  fitted_ = true;
+}
+
+tensor::Tensor StandardScaler::Transform(const tensor::Tensor& values) const {
+  SAGDFN_CHECK(fitted_);
+  return tensor::MulScalar(tensor::AddScalar(values, -mean_), 1.0f / std_);
+}
+
+tensor::Tensor StandardScaler::InverseTransform(
+    const tensor::Tensor& values) const {
+  SAGDFN_CHECK(fitted_);
+  return tensor::AddScalar(tensor::MulScalar(values, std_), mean_);
+}
+
+}  // namespace sagdfn::data

@@ -1,0 +1,35 @@
+#ifndef SAGDFN_DATA_SCALER_H_
+#define SAGDFN_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace sagdfn::data {
+
+/// Z-score normalization fitted on training data only (the standard
+/// protocol for METR-LA-style benchmarks): x' = (x - mean) / std.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes mean/std over every element of `values`.
+  void Fit(const tensor::Tensor& values);
+
+  /// Returns (x - mean) / std.
+  tensor::Tensor Transform(const tensor::Tensor& values) const;
+
+  /// Returns x * std + mean.
+  tensor::Tensor InverseTransform(const tensor::Tensor& values) const;
+
+  float mean() const { return mean_; }
+  float stddev() const { return std_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+  bool fitted_ = false;
+};
+
+}  // namespace sagdfn::data
+
+#endif  // SAGDFN_DATA_SCALER_H_

@@ -1,0 +1,77 @@
+#ifndef SAGDFN_DATA_SYNTHETIC_H_
+#define SAGDFN_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/time_series.h"
+#include "graph/generators.h"
+
+namespace sagdfn::data {
+
+/// Parameters of the synthetic traffic-speed generator (the METR-LA /
+/// London2000 / NewYork2000 stand-in).
+///
+/// The generator draws a latent random-geometric road graph, then evolves
+/// speeds as: free-flow base per sensor, minus rush-hour dips (with
+/// per-sensor phase jitter and a weekend attenuation), plus a latent
+/// graph-coupled AR(1) field that diffuses congestion between neighboring
+/// sensors, plus observation noise and sporadic congestion shocks.
+/// Learning the latent graph is exactly what lets a model denoise a sensor
+/// from its neighbors, which is the ability the paper's evaluation probes.
+struct TrafficOptions {
+  std::string name = "traffic-sim";
+  int64_t num_nodes = 207;
+  int64_t num_days = 8;
+  int64_t steps_per_day = 288;  // 5-minute resolution
+  /// Latent graph geometry.
+  double radius = 0.12;
+  double kernel_sigma = 0.08;
+  /// Spatial AR(1) coupling strength in [0, 1).
+  double spatial_rho = 0.85;
+  /// Innovation and observation noise scales (mph).
+  double innovation_std = 1.2;
+  double noise_std = 1.0;
+  /// Congestion shock probability per node per step, and magnitude (mph).
+  double event_rate = 0.0008;
+  double event_magnitude = 6.0;
+  /// Weekend rush attenuation in [0, 1].
+  double weekend_factor = 0.35;
+  uint64_t seed = 1;
+};
+
+/// Generates a traffic-speed series; optionally exposes the latent graph
+/// so tests can verify that learned adjacencies recover it.
+TimeSeries GenerateTraffic(const TrafficOptions& options,
+                           graph::SpatialGraph* latent_graph = nullptr);
+
+/// Parameters of the synthetic carpark-availability generator (the
+/// CARPARK1918 stand-in): available-lot counts with capacity saturation,
+/// strong daily cycles that differ between "business" and "residential"
+/// clusters, and cluster-level correlated fluctuations.
+struct CarparkOptions {
+  std::string name = "carpark-sim";
+  int64_t num_nodes = 1918;
+  int64_t num_days = 8;
+  int64_t steps_per_day = 288;
+  int64_t num_clusters = 24;
+  /// Capacity range (lots).
+  int64_t min_capacity = 80;
+  int64_t max_capacity = 600;
+  /// Cluster AR(1) persistence and innovation scale (logit units).
+  double cluster_rho = 0.9;
+  double cluster_std = 0.15;
+  /// Per-carpark observation noise (lots).
+  double noise_std = 3.0;
+  uint64_t seed = 2;
+};
+
+/// Generates a carpark availability series; optionally exposes the cluster
+/// assignment (the latent correlation structure).
+TimeSeries GenerateCarpark(const CarparkOptions& options,
+                           std::vector<int64_t>* cluster_of = nullptr);
+
+}  // namespace sagdfn::data
+
+#endif  // SAGDFN_DATA_SYNTHETIC_H_

@@ -1,0 +1,66 @@
+#include "graph/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "utils/check.h"
+
+namespace sagdfn::graph {
+
+tensor::Tensor CorrelationKnnGraph(const tensor::Tensor& values, int64_t k,
+                                   int64_t max_steps) {
+  SAGDFN_CHECK_EQ(values.ndim(), 2);
+  SAGDFN_CHECK_GT(k, 0);
+  SAGDFN_CHECK_GT(max_steps, 1);
+  const int64_t t_total = values.dim(0);
+  const int64_t n = values.dim(1);
+  const int64_t stride = std::max<int64_t>(1, t_total / max_steps);
+  const int64_t t_used = (t_total + stride - 1) / stride;
+  SAGDFN_CHECK_GT(t_used, 1);
+
+  // Standardize the sampled rows per node.
+  std::vector<double> z(t_used * n);
+  const float* v = values.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int64_t s = 0; s < t_used; ++s) sum += v[(s * stride) * n + i];
+    const double mean = sum / t_used;
+    double sq = 0.0;
+    for (int64_t s = 0; s < t_used; ++s) {
+      const double d = v[(s * stride) * n + i] - mean;
+      sq += d * d;
+    }
+    const double std = std::sqrt(sq / t_used);
+    const double inv = std > 1e-9 ? 1.0 / std : 0.0;
+    for (int64_t s = 0; s < t_used; ++s) {
+      z[s * n + i] = (v[(s * stride) * n + i] - mean) * inv;
+    }
+  }
+
+  tensor::Tensor corr = tensor::Tensor::Zeros(tensor::Shape({n, n}));
+  float* c = corr.data();
+  // corr = Z^T Z / t_used, negatives clipped.
+  for (int64_t s = 0; s < t_used; ++s) {
+    const double* row = z.data() + s * n;
+    for (int64_t i = 0; i < n; ++i) {
+      const double zi = row[i];
+      if (zi == 0.0) continue;
+      float* out_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        out_row[j] += static_cast<float>(zi * row[j]);
+      }
+    }
+  }
+  const float inv_t = 1.0f / t_used;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float& e = c[i * n + j];
+      e = i == j ? 0.0f : std::max(0.0f, e * inv_t);
+    }
+  }
+  return TopKPerRow(corr, k);
+}
+
+}  // namespace sagdfn::graph

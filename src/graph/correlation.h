@@ -1,0 +1,22 @@
+#ifndef SAGDFN_GRAPH_CORRELATION_H_
+#define SAGDFN_GRAPH_CORRELATION_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace sagdfn::graph {
+
+/// Builds a data-driven adjacency from a [T, N] series: Pearson
+/// correlation between node series (computed on at most `max_steps`
+/// evenly-strided rows), negatives clipped to zero, top-`k` kept per row,
+/// diagonal zeroed. This is the "predefined" graph handed to
+/// predefined-topology baselines (DCRNN-class) when no road network
+/// exists, mirroring the proximity/correlation graphs such methods use in
+/// practice.
+tensor::Tensor CorrelationKnnGraph(const tensor::Tensor& values, int64_t k,
+                                   int64_t max_steps = 512);
+
+}  // namespace sagdfn::graph
+
+#endif  // SAGDFN_GRAPH_CORRELATION_H_

@@ -1,0 +1,50 @@
+#ifndef SAGDFN_GRAPH_GENERATORS_H_
+#define SAGDFN_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace sagdfn::graph {
+
+/// A spatial graph with dense weighted adjacency and optional 2-D node
+/// coordinates (used by the synthetic dataset generators as the latent
+/// "road network").
+struct SpatialGraph {
+  int64_t num_nodes = 0;
+  /// [N, N] weighted adjacency; zero diagonal.
+  tensor::Tensor adjacency;
+  /// Node positions in the unit square; empty when not geometric.
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Random geometric graph: nodes uniform in the unit square; edge weight
+/// w_ij = exp(-dist^2 / sigma^2) when dist <= radius (the METR-LA sensor
+/// graph construction), else 0.
+SpatialGraph RandomGeometric(int64_t num_nodes, double radius, double sigma,
+                             utils::Rng& rng);
+
+/// Erdős–Rényi graph with edge probability p and Uniform(0.5, 1.5) edge
+/// weights. Symmetric, zero diagonal.
+SpatialGraph ErdosRenyi(int64_t num_nodes, double p, utils::Rng& rng);
+
+/// Stochastic block model: `num_blocks` equal communities; edge probability
+/// p_in within a block, p_out across blocks. Returns also a latent block id
+/// per node via `block_of`.
+SpatialGraph StochasticBlockModel(int64_t num_nodes, int64_t num_blocks,
+                                  double p_in, double p_out,
+                                  utils::Rng& rng,
+                                  std::vector<int64_t>* block_of = nullptr);
+
+/// k-nearest-neighbor graph from explicit coordinates with Gaussian kernel
+/// weights.
+SpatialGraph KnnFromPoints(const std::vector<double>& x,
+                           const std::vector<double>& y, int64_t k,
+                           double sigma);
+
+}  // namespace sagdfn::graph
+
+#endif  // SAGDFN_GRAPH_GENERATORS_H_

@@ -1,0 +1,89 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "utils/check.h"
+#include "utils/string_util.h"
+
+namespace sagdfn::metrics {
+namespace {
+
+/// Accumulates |err|, err^2, |err|/|truth| over non-missing entries.
+struct Accumulator {
+  double abs = 0.0;
+  double sq = 0.0;
+  double ape = 0.0;
+  int64_t count = 0;
+};
+
+Accumulator Accumulate(const tensor::Tensor& pred,
+                       const tensor::Tensor& truth) {
+  SAGDFN_CHECK(pred.shape() == truth.shape())
+      << pred.shape().ToString() << " vs " << truth.shape().ToString();
+  Accumulator acc;
+  const float* pp = pred.data();
+  const float* pt = truth.data();
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    if (pt[i] == 0.0f) continue;  // missing-reading convention
+    const double err = static_cast<double>(pp[i]) - pt[i];
+    acc.abs += std::fabs(err);
+    acc.sq += err * err;
+    acc.ape += std::fabs(err) / std::fabs(pt[i]);
+    ++acc.count;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::string Scores::ToString() const {
+  return utils::FormatDouble(mae, 2) + " " + utils::FormatDouble(rmse, 2) +
+         " " + utils::FormatDouble(mape * 100.0, 1) + "%";
+}
+
+double MaskedMae(const tensor::Tensor& pred, const tensor::Tensor& truth) {
+  Accumulator acc = Accumulate(pred, truth);
+  return acc.count > 0 ? acc.abs / acc.count : 0.0;
+}
+
+double MaskedRmse(const tensor::Tensor& pred, const tensor::Tensor& truth) {
+  Accumulator acc = Accumulate(pred, truth);
+  return acc.count > 0 ? std::sqrt(acc.sq / acc.count) : 0.0;
+}
+
+double MaskedMape(const tensor::Tensor& pred, const tensor::Tensor& truth) {
+  Accumulator acc = Accumulate(pred, truth);
+  return acc.count > 0 ? acc.ape / acc.count : 0.0;
+}
+
+Scores Evaluate(const tensor::Tensor& pred, const tensor::Tensor& truth) {
+  Accumulator acc = Accumulate(pred, truth);
+  Scores s;
+  if (acc.count > 0) {
+    s.mae = acc.abs / acc.count;
+    s.rmse = std::sqrt(acc.sq / acc.count);
+    s.mape = acc.ape / acc.count;
+  }
+  return s;
+}
+
+std::vector<Scores> EvaluateHorizons(const tensor::Tensor& pred,
+                                     const tensor::Tensor& truth,
+                                     const std::vector<int64_t>& horizons) {
+  SAGDFN_CHECK_EQ(pred.ndim(), 3);
+  SAGDFN_CHECK(pred.shape() == truth.shape());
+  const int64_t f = pred.dim(1);
+  std::vector<Scores> result;
+  result.reserve(horizons.size());
+  for (int64_t h : horizons) {
+    SAGDFN_CHECK_GE(h, 1);
+    SAGDFN_CHECK_LE(h, f);
+    tensor::Tensor ph = tensor::Slice(pred, 1, h - 1, h);
+    tensor::Tensor th = tensor::Slice(truth, 1, h - 1, h);
+    result.push_back(Evaluate(ph, th));
+  }
+  return result;
+}
+
+}  // namespace sagdfn::metrics

@@ -1,0 +1,46 @@
+#ifndef SAGDFN_METRICS_METRICS_H_
+#define SAGDFN_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sagdfn::metrics {
+
+/// The paper's three evaluation metrics at one horizon.
+struct Scores {
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// Fraction (not percent); multiply by 100 for the paper's format.
+  double mape = 0.0;
+
+  /// "MAE RMSE MAPE%" with the paper's typical precision.
+  std::string ToString() const;
+};
+
+/// Masked MAE: mean |pred - truth| over entries where truth != 0 (the
+/// METR-LA convention treating 0 as a missing reading).
+double MaskedMae(const tensor::Tensor& pred, const tensor::Tensor& truth);
+
+/// Masked RMSE.
+double MaskedRmse(const tensor::Tensor& pred, const tensor::Tensor& truth);
+
+/// Masked MAPE (fraction).
+double MaskedMape(const tensor::Tensor& pred, const tensor::Tensor& truth);
+
+/// All three at once.
+Scores Evaluate(const tensor::Tensor& pred, const tensor::Tensor& truth);
+
+/// Per-horizon evaluation. `pred` and `truth` are [S, f, N] (S evaluation
+/// windows); `horizons` lists 1-based horizon steps (e.g. {3, 6, 12}).
+/// Each returned entry aggregates that single horizon step, matching the
+/// paper's "Horizon 3 / 6 / 12" columns.
+std::vector<Scores> EvaluateHorizons(const tensor::Tensor& pred,
+                                     const tensor::Tensor& truth,
+                                     const std::vector<int64_t>& horizons);
+
+}  // namespace sagdfn::metrics
+
+#endif  // SAGDFN_METRICS_METRICS_H_

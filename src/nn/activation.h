@@ -1,0 +1,27 @@
+#ifndef SAGDFN_NN_ACTIVATION_H_
+#define SAGDFN_NN_ACTIVATION_H_
+
+#include "autograd/ops.h"
+
+namespace sagdfn::nn {
+
+/// Activation functions selectable by configuration.
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// Applies the selected activation.
+autograd::Variable Apply(Activation act, const autograd::Variable& x);
+
+/// Parses "relu" / "tanh" / "sigmoid" / "identity" (fatal on unknown).
+Activation ActivationFromName(const std::string& name);
+
+/// Name for logging/serialization.
+const char* ActivationName(Activation act);
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_ACTIVATION_H_

@@ -1,0 +1,23 @@
+#include "nn/dropout.h"
+
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+Dropout::Dropout(double p, uint64_t seed) : p_(p), rng_(seed) {
+  SAGDFN_CHECK_GE(p, 0.0);
+  SAGDFN_CHECK_LT(p, 1.0);
+}
+
+autograd::Variable Dropout::Forward(const autograd::Variable& x) {
+  if (!training() || p_ == 0.0) return x;
+  tensor::Tensor mask(x.shape());
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  float* pm = mask.data();
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    pm[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
+  }
+  return autograd::MulMask(x, mask);
+}
+
+}  // namespace sagdfn::nn

@@ -1,0 +1,30 @@
+#ifndef SAGDFN_NN_DROPOUT_H_
+#define SAGDFN_NN_DROPOUT_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "utils/rng.h"
+
+namespace sagdfn::nn {
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); in eval mode the
+/// input passes through unchanged.
+class Dropout : public Module {
+ public:
+  /// `p` in [0, 1). The module owns its RNG stream so dropout masks do not
+  /// perturb other random state.
+  explicit Dropout(double p, uint64_t seed = 7);
+
+  autograd::Variable Forward(const autograd::Variable& x);
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  utils::Rng rng_;
+};
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_DROPOUT_H_

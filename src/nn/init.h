@@ -1,0 +1,28 @@
+#ifndef SAGDFN_NN_INIT_H_
+#define SAGDFN_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace sagdfn::nn {
+
+/// Xavier/Glorot uniform init: U(-a, a) with a = sqrt(6 / (fan_in +
+/// fan_out)). For 2-D shapes fan_in/fan_out are the two dims; for higher
+/// ranks the trailing two dims are used.
+tensor::Tensor XavierUniform(tensor::Shape shape, utils::Rng& rng,
+                             float gain = 1.0f);
+
+/// Xavier/Glorot normal init: N(0, sqrt(2 / (fan_in + fan_out))).
+tensor::Tensor XavierNormal(tensor::Shape shape, utils::Rng& rng,
+                            float gain = 1.0f);
+
+/// He/Kaiming uniform init: U(-a, a) with a = sqrt(6 / fan_in).
+tensor::Tensor HeUniform(tensor::Shape shape, utils::Rng& rng);
+
+/// PyTorch nn.Linear-style default: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+tensor::Tensor LinearDefault(tensor::Shape shape, utils::Rng& rng,
+                             int64_t fan_in);
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_INIT_H_

@@ -1,0 +1,30 @@
+#include "nn/layer_norm.h"
+
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+namespace ag = ::sagdfn::autograd;
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  SAGDFN_CHECK_GT(features, 0);
+  gamma_ = RegisterParameter(
+      "gamma",
+      ag::Variable(tensor::Tensor::Ones(tensor::Shape({features}))));
+  beta_ = RegisterParameter(
+      "beta",
+      ag::Variable(tensor::Tensor::Zeros(tensor::Shape({features}))));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  SAGDFN_CHECK_EQ(x.shape().dim(-1), features_);
+  ag::Variable mu = ag::Mean(x, -1, /*keepdim=*/true);
+  ag::Variable centered = ag::Sub(x, mu);
+  ag::Variable var = ag::Mean(ag::Mul(centered, centered), -1, true);
+  ag::Variable denom = ag::Sqrt(ag::AddScalar(var, eps_));
+  ag::Variable normed = ag::Div(centered, denom);
+  return ag::Add(ag::Mul(normed, gamma_), beta_);
+}
+
+}  // namespace sagdfn::nn

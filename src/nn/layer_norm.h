@@ -1,0 +1,28 @@
+#ifndef SAGDFN_NN_LAYER_NORM_H_
+#define SAGDFN_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace sagdfn::nn {
+
+/// Layer normalization over the last dimension:
+///   y = (x - mean) / sqrt(var + eps) * gamma + beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t features() const { return features_; }
+
+ private:
+  int64_t features_;
+  float eps_;
+  autograd::Variable gamma_;
+  autograd::Variable beta_;
+};
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_LAYER_NORM_H_

@@ -1,0 +1,42 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, utils::Rng& rng,
+               bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  SAGDFN_CHECK_GT(in_features, 0);
+  SAGDFN_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight",
+      autograd::Variable(LinearDefault(
+          tensor::Shape({in_features, out_features}), rng, in_features)));
+  if (has_bias_) {
+    bias_ = RegisterParameter(
+        "bias", autograd::Variable(LinearDefault(
+                    tensor::Shape({out_features}), rng, in_features)));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  SAGDFN_CHECK_EQ(x.shape().dim(-1), in_features_)
+      << "Linear input " << x.shape().ToString();
+  autograd::Variable out;
+  if (x.shape().ndim() == 2) {
+    out = autograd::MatMul(x, weight_);
+  } else if (x.shape().ndim() == 3) {
+    out = autograd::BatchedMatMul(x, weight_);
+  } else {
+    SAGDFN_CHECK(false) << "Linear expects rank 2 or 3, got "
+                        << x.shape().ToString();
+  }
+  if (has_bias_) out = autograd::Add(out, bias_);
+  return out;
+}
+
+}  // namespace sagdfn::nn

@@ -1,0 +1,39 @@
+#ifndef SAGDFN_NN_LINEAR_H_
+#define SAGDFN_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "utils/rng.h"
+
+namespace sagdfn::nn {
+
+/// Affine map y = x W + b with W: [in, out], b: [out].
+///
+/// Accepts 2-D inputs [B, in] or 3-D inputs [B, N, in]; the bias
+/// broadcasts over leading dims.
+class Linear : public Module {
+ public:
+  /// Initializes W and (optionally) b with the PyTorch Linear default
+  /// U(-1/sqrt(in), 1/sqrt(in)).
+  Linear(int64_t in_features, int64_t out_features, utils::Rng& rng,
+         bool bias = true);
+
+  /// Applies the affine map.
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  const autograd::Variable& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+};
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_LINEAR_H_

@@ -1,0 +1,25 @@
+#include "nn/mlp.h"
+
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Activation act, utils::Rng& rng)
+    : act_(act) {
+  SAGDFN_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+autograd::Variable Mlp::Forward(const autograd::Variable& x) const {
+  autograd::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Apply(act_, h);
+  }
+  return h;
+}
+
+}  // namespace sagdfn::nn

@@ -1,0 +1,77 @@
+#include "nn/module.h"
+
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> result;
+  for (const auto& [name, param] : params_) {
+    result.emplace_back(name, param);
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, param] : child->NamedParameters()) {
+      result.emplace_back(child_name + "." + name, param);
+    }
+  }
+  return result;
+}
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> result;
+  for (auto& [name, param] : NamedParameters()) {
+    result.push_back(param);
+  }
+  return result;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const auto& param : Parameters()) count += param.size();
+  return count;
+}
+
+void Module::ZeroGrad() {
+  for (auto& param : Parameters()) param.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> Module::NamedBuffers()
+    const {
+  std::vector<std::pair<std::string, tensor::Tensor>> result;
+  for (const auto& [name, buffer] : buffers_) {
+    result.emplace_back(name, buffer);
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, buffer] : child->NamedBuffers()) {
+      result.emplace_back(child_name + "." + name, buffer);
+    }
+  }
+  return result;
+}
+
+tensor::Tensor Module::RegisterBuffer(std::string name,
+                                      tensor::Tensor buffer) {
+  buffers_.emplace_back(std::move(name), buffer);
+  return buffers_.back().second;
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             autograd::Variable param) {
+  param.set_requires_grad(true);
+  params_.emplace_back(std::move(name), param);
+  return params_.back().second;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  SAGDFN_CHECK(child != nullptr);
+  SAGDFN_CHECK(child != this);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace sagdfn::nn

@@ -1,0 +1,79 @@
+#include "nn/rnn.h"
+
+#include "autograd/ops.h"
+#include "utils/check.h"
+
+namespace sagdfn::nn {
+
+namespace ag = ::sagdfn::autograd;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, utils::Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  input_proj_ =
+      std::make_unique<Linear>(input_size, 3 * hidden_size, rng, true);
+  hidden_proj_ =
+      std::make_unique<Linear>(hidden_size, 3 * hidden_size, rng, false);
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("hidden_proj", hidden_proj_.get());
+}
+
+ag::Variable GruCell::Forward(const ag::Variable& x,
+                              const ag::Variable& h) const {
+  SAGDFN_CHECK_EQ(x.shape().dim(-1), input_size_);
+  SAGDFN_CHECK_EQ(h.shape().dim(-1), hidden_size_);
+  const int64_t H = hidden_size_;
+  ag::Variable xi = input_proj_->Forward(x);   // [B, 3H]
+  ag::Variable hh = hidden_proj_->Forward(h);  // [B, 3H]
+
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(xi, -1, 0, H), ag::Slice(hh, -1, 0, H)));
+  ag::Variable z = ag::Sigmoid(
+      ag::Add(ag::Slice(xi, -1, H, 2 * H), ag::Slice(hh, -1, H, 2 * H)));
+  ag::Variable n = ag::Tanh(
+      ag::Add(ag::Slice(xi, -1, 2 * H, 3 * H),
+              ag::Mul(r, ag::Slice(hh, -1, 2 * H, 3 * H))));
+  // h' = z * h + (1 - z) * n
+  ag::Variable one_minus_z = ag::Sub(
+      ag::Variable(tensor::Tensor::Ones(z.shape())), z);
+  return ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, n));
+}
+
+ag::Variable GruCell::InitialState(int64_t batch) const {
+  return ag::Variable(
+      tensor::Tensor::Zeros(tensor::Shape({batch, hidden_size_})));
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, utils::Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  input_proj_ =
+      std::make_unique<Linear>(input_size, 4 * hidden_size, rng, true);
+  hidden_proj_ =
+      std::make_unique<Linear>(hidden_size, 4 * hidden_size, rng, false);
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("hidden_proj", hidden_proj_.get());
+}
+
+std::pair<ag::Variable, ag::Variable> LstmCell::Forward(
+    const ag::Variable& x, const ag::Variable& h,
+    const ag::Variable& c) const {
+  SAGDFN_CHECK_EQ(x.shape().dim(-1), input_size_);
+  const int64_t H = hidden_size_;
+  ag::Variable gates =
+      ag::Add(input_proj_->Forward(x), hidden_proj_->Forward(h));
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, H));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, -1, H, 2 * H));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, -1, 2 * H, 3 * H));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, -1, 3 * H, 4 * H));
+  ag::Variable c_new = ag::Add(ag::Mul(f, c), ag::Mul(i, g));
+  ag::Variable h_new = ag::Mul(o, ag::Tanh(c_new));
+  return {h_new, c_new};
+}
+
+std::pair<ag::Variable, ag::Variable> LstmCell::InitialState(
+    int64_t batch) const {
+  tensor::Shape s({batch, hidden_size_});
+  return {ag::Variable(tensor::Tensor::Zeros(s)),
+          ag::Variable(tensor::Tensor::Zeros(s))};
+}
+
+}  // namespace sagdfn::nn

@@ -1,0 +1,63 @@
+#ifndef SAGDFN_NN_RNN_H_
+#define SAGDFN_NN_RNN_H_
+
+#include <memory>
+#include <utility>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace sagdfn::nn {
+
+/// Gated Recurrent Unit cell (Chung et al., 2014). One time step:
+///   r = sigmoid(x W_ir + h W_hr + b_r)
+///   z = sigmoid(x W_iz + h W_hz + b_z)
+///   n = tanh(x W_in + r * (h W_hn) + b_n)
+///   h' = z * h + (1 - z) * n
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, utils::Rng& rng);
+
+  /// `x`: [B, input], `h`: [B, hidden]. Returns h': [B, hidden].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h) const;
+
+  /// Zero initial state for a batch.
+  autograd::Variable InitialState(int64_t batch) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  int64_t input_size() const { return input_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> input_proj_;   // x -> 3H (r|z|n), with bias
+  std::unique_ptr<Linear> hidden_proj_;  // h -> 3H, no bias
+};
+
+/// Long Short-Term Memory cell (Hochreiter & Schmidhuber, 1997).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, utils::Rng& rng);
+
+  /// `x`: [B, input]; state is (h, c), both [B, hidden]. Returns (h', c').
+  std::pair<autograd::Variable, autograd::Variable> Forward(
+      const autograd::Variable& x, const autograd::Variable& h,
+      const autograd::Variable& c) const;
+
+  /// Zero (h, c) for a batch.
+  std::pair<autograd::Variable, autograd::Variable> InitialState(
+      int64_t batch) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> input_proj_;   // x -> 4H (i|f|g|o), with bias
+  std::unique_ptr<Linear> hidden_proj_;  // h -> 4H, no bias
+};
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_RNN_H_

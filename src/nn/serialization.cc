@@ -1,0 +1,137 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace sagdfn::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x53414744;  // "SAGD"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+void WriteEntry(std::ofstream& out, const std::string& name,
+                const tensor::Tensor& value) {
+  WriteU64(out, name.size());
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  const auto& dims = value.shape().dims();
+  WriteU64(out, dims.size());
+  for (int64_t d : dims) WriteU64(out, static_cast<uint64_t>(d));
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+}
+
+/// Collects parameter and buffer storage handles by qualified name.
+std::map<std::string, tensor::Tensor> StateMap(Module* module) {
+  std::map<std::string, tensor::Tensor> by_name;
+  for (auto& [name, var] : module->NamedParameters()) {
+    by_name.emplace(name, var.mutable_value());
+  }
+  for (auto& [name, buffer] : module->NamedBuffers()) {
+    by_name.emplace("buffer:" + name, buffer);
+  }
+  return by_name;
+}
+
+}  // namespace
+
+utils::Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return utils::Status::NotFound("cannot open for write: " + path);
+  }
+  auto params = module.NamedParameters();
+  auto buffers = module.NamedBuffers();
+  WriteU32(out, kMagic);
+  WriteU64(out, params.size() + buffers.size());
+  for (const auto& [name, var] : params) {
+    WriteEntry(out, name, var.value());
+  }
+  for (const auto& [name, buffer] : buffers) {
+    WriteEntry(out, "buffer:" + name, buffer);
+  }
+  if (!out.good()) {
+    return utils::Status::Internal("write failed: " + path);
+  }
+  return utils::Status::Ok();
+}
+
+utils::Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return utils::Status::NotFound("cannot open: " + path);
+  }
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return utils::Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  if (!ReadU64(in, &count)) {
+    return utils::Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+
+  std::map<std::string, tensor::Tensor> by_name = StateMap(module);
+  if (count != by_name.size()) {
+    return utils::Status::InvalidArgument(
+        "state count mismatch: file has " + std::to_string(count) +
+        ", module has " + std::to_string(by_name.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len) || name_len > 4096) {
+      return utils::Status::InvalidArgument("corrupt name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rank = 0;
+    if (!ReadU64(in, &rank) || rank > 16) {
+      return utils::Status::InvalidArgument("corrupt rank for " + name);
+    }
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) {
+      uint64_t v = 0;
+      if (!ReadU64(in, &v)) {
+        return utils::Status::InvalidArgument("corrupt dims for " + name);
+      }
+      d = static_cast<int64_t>(v);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return utils::Status::NotFound("unknown entry in file: " + name);
+    }
+    tensor::Shape shape(dims);
+    if (!(shape == it->second.shape())) {
+      return utils::Status::InvalidArgument(
+          "shape mismatch for " + name + ": file " + shape.ToString() +
+          " vs module " + it->second.shape().ToString());
+    }
+    in.read(reinterpret_cast<char*>(it->second.data()),
+            static_cast<std::streamsize>(it->second.size() *
+                                         sizeof(float)));
+    if (!in.good()) {
+      return utils::Status::InvalidArgument("truncated data for " + name);
+    }
+  }
+  module->OnStateLoaded();
+  return utils::Status::Ok();
+}
+
+}  // namespace sagdfn::nn

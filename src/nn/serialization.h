@@ -1,0 +1,22 @@
+#ifndef SAGDFN_NN_SERIALIZATION_H_
+#define SAGDFN_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "utils/status.h"
+
+namespace sagdfn::nn {
+
+/// Writes every named parameter of `module` to a binary checkpoint:
+/// magic, count, then per parameter (name, shape, float32 data).
+utils::Status SaveModule(const Module& module, const std::string& path);
+
+/// Loads a checkpoint produced by SaveModule into `module`. Every stored
+/// name must exist in the module with an identical shape, and every module
+/// parameter must be present in the file (strict matching).
+utils::Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace sagdfn::nn
+
+#endif  // SAGDFN_NN_SERIALIZATION_H_

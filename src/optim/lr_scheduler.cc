@@ -1,0 +1,42 @@
+#include "optim/lr_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace sagdfn::optim {
+
+MultiStepLr::MultiStepLr(Optimizer* optimizer,
+                         std::vector<int64_t> milestones, double gamma)
+    : optimizer_(optimizer),
+      milestones_(std::move(milestones)),
+      gamma_(gamma) {
+  SAGDFN_CHECK(optimizer_ != nullptr);
+  SAGDFN_CHECK_GT(gamma_, 0.0);
+}
+
+void MultiStepLr::Step(int64_t epoch) {
+  if (std::find(milestones_.begin(), milestones_.end(), epoch) !=
+      milestones_.end()) {
+    optimizer_->set_lr(optimizer_->lr() * gamma_);
+  }
+}
+
+CosineLr::CosineLr(Optimizer* optimizer, int64_t total_epochs, double min_lr)
+    : optimizer_(optimizer),
+      total_epochs_(total_epochs),
+      base_lr_(optimizer->lr()),
+      min_lr_(min_lr) {
+  SAGDFN_CHECK(optimizer_ != nullptr);
+  SAGDFN_CHECK_GT(total_epochs, 0);
+}
+
+void CosineLr::Step(int64_t epoch) {
+  const double t = std::min<double>(epoch, total_epochs_) / total_epochs_;
+  const double lr =
+      min_lr_ + 0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(M_PI * t));
+  optimizer_->set_lr(lr);
+}
+
+}  // namespace sagdfn::optim

@@ -1,0 +1,44 @@
+#ifndef SAGDFN_OPTIM_LR_SCHEDULER_H_
+#define SAGDFN_OPTIM_LR_SCHEDULER_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace sagdfn::optim {
+
+/// Multiplies the learning rate by `gamma` at each listed epoch milestone
+/// (the schedule used by DCRNN-style training).
+class MultiStepLr {
+ public:
+  MultiStepLr(Optimizer* optimizer, std::vector<int64_t> milestones,
+              double gamma);
+
+  /// Call once per epoch (0-based). Applies the decay when `epoch` is a
+  /// milestone.
+  void Step(int64_t epoch);
+
+ private:
+  Optimizer* optimizer_;
+  std::vector<int64_t> milestones_;
+  double gamma_;
+};
+
+/// Cosine annealing from the initial LR down to `min_lr` over
+/// `total_epochs`.
+class CosineLr {
+ public:
+  CosineLr(Optimizer* optimizer, int64_t total_epochs, double min_lr = 0.0);
+
+  void Step(int64_t epoch);
+
+ private:
+  Optimizer* optimizer_;
+  int64_t total_epochs_;
+  double base_lr_;
+  double min_lr_;
+};
+
+}  // namespace sagdfn::optim
+
+#endif  // SAGDFN_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,115 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace sagdfn::optim {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  SAGDFN_CHECK(!params_.empty()) << "optimizer needs parameters";
+  for (const auto& p : params_) {
+    SAGDFN_CHECK(p.requires_grad()) << "optimizer over non-trainable var";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor grad = params_[i].grad();
+    float* w = params_[i].mutable_value().data();
+    float* v = velocity_[i].data();
+    const float* g = grad.data();
+    const int64_t n = grad.size();
+    for (int64_t e = 0; e < n; ++e) {
+      v[e] = mu * v[e] + g[e];
+      w[e] -= lr * v[e];
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(tensor::Tensor::Zeros(p.shape()));
+    v_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bias2 = 1.0 - std::pow(beta2_, step_count_);
+  const float lr = static_cast<float>(lr_);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  const float wd = static_cast<float>(weight_decay_);
+  const float inv_bias1 = static_cast<float>(1.0 / bias1);
+  const float inv_bias2 = static_cast<float>(1.0 / bias2);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor grad = params_[i].grad();
+    float* w = params_[i].mutable_value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float* g = grad.data();
+    const int64_t n = grad.size();
+    for (int64_t e = 0; e < n; ++e) {
+      const float ge = g[e] + wd * w[e];
+      m[e] = b1 * m[e] + (1.0f - b1) * ge;
+      v[e] = b2 * v[e] + (1.0f - b2) * ge * ge;
+      const float m_hat = m[e] * inv_bias1;
+      const float v_hat = v[e] * inv_bias2;
+      w[e] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm) {
+  SAGDFN_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const auto& p : params) {
+    tensor::Tensor g = p.grad();
+    const float* pg = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      sq += static_cast<double>(pg[i]) * pg[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const auto& p : params) {
+      // grad() returns the stored buffer (shared handle) once defined, so
+      // scaling through it updates the optimizer-visible gradient.
+      tensor::Tensor g = p.grad();
+      float* pg = g.data();
+      for (int64_t i = 0; i < g.size(); ++i) pg[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace sagdfn::optim

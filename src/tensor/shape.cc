@@ -1,0 +1,78 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace sagdfn::tensor {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) SAGDFN_CHECK_GE(d, 0);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) SAGDFN_CHECK_GE(d, 0);
+}
+
+int64_t Shape::dim(int64_t d) const { return dims_[CanonicalAxis(d)]; }
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t acc = 1;
+  for (int64_t i = ndim() - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= dims_[i];
+  }
+  return strides;
+}
+
+int64_t Shape::CanonicalAxis(int64_t axis) const {
+  int64_t n = ndim();
+  if (axis < 0) axis += n;
+  SAGDFN_CHECK_GE(axis, 0) << "axis out of range for " << ToString();
+  SAGDFN_CHECK_LT(axis, n) << "axis out of range for " << ToString();
+  return axis;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool Shape::BroadcastCompatible(const Shape& a, const Shape& b) {
+  int64_t rank = std::max(a.ndim(), b.ndim());
+  for (int64_t i = 0; i < rank; ++i) {
+    int64_t da = i < a.ndim() ? a.dims_[a.ndim() - 1 - i] : 1;
+    int64_t db = i < b.ndim() ? b.dims_[b.ndim() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape Shape::Broadcast(const Shape& a, const Shape& b) {
+  SAGDFN_CHECK(BroadcastCompatible(a, b))
+      << "cannot broadcast " << a.ToString() << " with " << b.ToString();
+  int64_t rank = std::max(a.ndim(), b.ndim());
+  std::vector<int64_t> out(rank);
+  for (int64_t i = 0; i < rank; ++i) {
+    int64_t da = i < a.ndim() ? a.dims_[a.ndim() - 1 - i] : 1;
+    int64_t db = i < b.ndim() ? b.dims_[b.ndim() - 1 - i] : 1;
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace sagdfn::tensor

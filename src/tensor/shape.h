@@ -1,0 +1,62 @@
+#ifndef SAGDFN_TENSOR_SHAPE_H_
+#define SAGDFN_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sagdfn::tensor {
+
+/// Dimension sizes of a dense tensor. Rank-0 (scalar) shapes are allowed
+/// and have NumElements() == 1.
+class Shape {
+ public:
+  Shape() = default;
+
+  /// Constructs from an explicit dimension list; all dims must be >= 0.
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  /// Number of dimensions (rank).
+  int64_t ndim() const { return static_cast<int64_t>(dims_.size()); }
+
+  /// Size of dimension `d`; `d` may be negative (Python-style).
+  int64_t dim(int64_t d) const;
+
+  /// Total element count (1 for rank-0).
+  int64_t NumElements() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements) for this shape.
+  std::vector<int64_t> Strides() const;
+
+  /// Canonicalizes a possibly-negative axis into [0, ndim). Fatal if out
+  /// of range.
+  int64_t CanonicalAxis(int64_t axis) const;
+
+  /// Renders e.g. "[2, 3, 4]".
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) {
+    return !(a == b);
+  }
+
+  /// Computes the numpy-style broadcast shape of `a` and `b`. Fatal if the
+  /// shapes are incompatible.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  /// True if `a` and `b` are broadcast-compatible.
+  static bool BroadcastCompatible(const Shape& a, const Shape& b);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace sagdfn::tensor
+
+#endif  // SAGDFN_TENSOR_SHAPE_H_

@@ -1,0 +1,147 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace sagdfn::tensor {
+
+Tensor::Tensor() : Tensor(Shape({0})) {}
+
+Tensor::Tensor(Shape shape)
+    : data_(std::make_shared<std::vector<float>>(shape.NumElements(), 0.0f)),
+      shape_(std::move(shape)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape(std::vector<int64_t>{})};
+  (*t.data_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values, Shape shape) {
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(values.size()), shape.NumElements());
+  Tensor t;
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t{Shape({n})};
+  for (int64_t i = 0; i < n; ++i) (*t.data_)[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t{Shape({n, n})};
+  for (int64_t i = 0; i < n; ++i) (*t.data_)[i * n + i] = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Uniform(Shape shape, utils::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) {
+    v = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(Shape shape, utils::Rng& rng, float mean,
+                      float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) {
+    v = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+float& Tensor::At(std::initializer_list<int64_t> index) {
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(index.size()), ndim());
+  const auto strides = shape_.Strides();
+  int64_t offset = 0;
+  int64_t d = 0;
+  for (int64_t i : index) {
+    SAGDFN_DCHECK_GE(i, 0);
+    SAGDFN_DCHECK_LT(i, shape_.dim(d));
+    offset += i * strides[d++];
+  }
+  return (*data_)[offset];
+}
+
+float Tensor::At(std::initializer_list<int64_t> index) const {
+  return const_cast<Tensor*>(this)->At(index);
+}
+
+float Tensor::Item() const {
+  SAGDFN_CHECK_EQ(size(), 1) << "Item() requires a single-element tensor";
+  return (*data_)[0];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> dims) const {
+  int64_t known = 1;
+  int64_t infer_index = -1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      SAGDFN_CHECK_EQ(infer_index, -1) << "at most one -1 dim in Reshape";
+      infer_index = static_cast<int64_t>(i);
+    } else {
+      SAGDFN_CHECK_GE(dims[i], 0);
+      known *= dims[i];
+    }
+  }
+  if (infer_index >= 0) {
+    SAGDFN_CHECK_GT(known, 0);
+    SAGDFN_CHECK_EQ(size() % known, 0)
+        << "cannot infer dim for reshape of " << shape_.ToString();
+    dims[infer_index] = size() / known;
+  }
+  Shape new_shape(std::move(dims));
+  SAGDFN_CHECK_EQ(new_shape.NumElements(), size())
+      << "Reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.shape_ = shape_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : *data_) v = value;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  SAGDFN_CHECK(shape_ == src.shape_)
+      << "CopyFrom shape mismatch: " << shape_.ToString() << " vs "
+      << src.shape_.ToString();
+  *data_ = *src.data_;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << "{";
+  int64_t n = std::min<int64_t>(size(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << (*data_)[i];
+  }
+  if (size() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sagdfn::tensor

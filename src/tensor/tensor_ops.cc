@@ -1,0 +1,566 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "utils/check.h"
+
+namespace sagdfn::tensor {
+namespace {
+
+// Applies `op` elementwise over broadcast inputs. Fast path for identical
+// shapes; otherwise walks a multi-index with per-input broadcast strides.
+template <typename Op>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    return out;
+  }
+  // Scalar fast paths apply only when the scalar operand's rank does not
+  // exceed the other's (otherwise broadcasting promotes the result rank,
+  // e.g. [3] op [1, 1] -> [1, 3]).
+  if (b.size() == 1 && b.ndim() <= a.ndim()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float s = b.data()[0];
+    float* po = out.data();
+    const int64_t n = a.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], s);
+    return out;
+  }
+  if (a.size() == 1 && a.ndim() <= b.ndim()) {
+    Tensor out(b.shape());
+    const float s = a.data()[0];
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = b.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(s, pb[i]);
+    return out;
+  }
+
+  Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  const int64_t rank = out_shape.ndim();
+  Tensor out(out_shape);
+
+  // Align strides to the output rank, zeroing broadcast dims.
+  auto aligned_strides = [&](const Shape& s) {
+    std::vector<int64_t> strides(rank, 0);
+    auto own = s.Strides();
+    for (int64_t i = 0; i < s.ndim(); ++i) {
+      int64_t out_dim = rank - s.ndim() + i;
+      strides[out_dim] = (s.dims()[i] == 1) ? 0 : own[i];
+    }
+    return strides;
+  };
+  const std::vector<int64_t> sa = aligned_strides(a.shape());
+  const std::vector<int64_t> sb = aligned_strides(b.shape());
+
+  std::vector<int64_t> index(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t total = out.size();
+  int64_t offset_a = 0;
+  int64_t offset_b = 0;
+  for (int64_t flat = 0; flat < total; ++flat) {
+    po[flat] = op(pa[offset_a], pb[offset_b]);
+    // Increment the multi-index (odometer) and the two offsets.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      offset_a += sa[d];
+      offset_b += sb[d];
+      if (index[d] < out_shape.dims()[d]) break;
+      offset_a -= sa[d] * index[d];
+      offset_b -= sb[d] * index[d];
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename Op>
+Tensor UnaryOp(const Tensor& a, Op op) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i]);
+  return out;
+}
+
+// Decomposes a shape around `axis` into (outer, axis_size, inner) so
+// reductions can run as three nested loops.
+struct AxisSplit {
+  int64_t outer;
+  int64_t axis_size;
+  int64_t inner;
+};
+
+AxisSplit SplitAtAxis(const Shape& shape, int64_t axis) {
+  axis = shape.CanonicalAxis(axis);
+  AxisSplit s{1, shape.dims()[axis], 1};
+  for (int64_t i = 0; i < axis; ++i) s.outer *= shape.dims()[i];
+  for (int64_t i = axis + 1; i < shape.ndim(); ++i) {
+    s.inner *= shape.dims()[i];
+  }
+  return s;
+}
+
+Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdim) {
+  axis = shape.CanonicalAxis(axis);
+  std::vector<int64_t> dims = shape.dims();
+  if (keepdim) {
+    dims[axis] = 1;
+  } else {
+    dims.erase(dims.begin() + axis);
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, std::plus<float>());
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, std::minus<float>());
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, std::multiplies<float>());
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, std::divides<float>());
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    // Stable in both tails.
+    if (x >= 0.0f) {
+      float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  SAGDFN_CHECK_LE(lo, hi);
+  return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor Pow(const Tensor& a, float p) {
+  return UnaryOp(a, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  SAGDFN_CHECK_EQ(a.ndim(), 2) << "MatMul lhs must be 2-D";
+  SAGDFN_CHECK_EQ(b.ndim(), 2) << "MatMul rhs must be 2-D";
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  SAGDFN_CHECK_EQ(k, b.dim(0))
+      << "MatMul inner dims: " << a.shape().ToString() << " x "
+      << b.shape().ToString();
+  Tensor out{Shape({m, n})};
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: streams both B and the output row.
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    const float* a_row = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  SAGDFN_CHECK(a.ndim() == 3 || b.ndim() == 3)
+      << "BatchedMatMul requires a 3-D operand";
+  const bool broadcast_lhs = a.ndim() == 2;
+  const bool broadcast_rhs = b.ndim() == 2;
+  SAGDFN_CHECK(!broadcast_lhs || !broadcast_rhs);
+  const int64_t batch = broadcast_lhs ? b.dim(0) : a.dim(0);
+  const int64_t m = broadcast_lhs ? a.dim(0) : a.dim(1);
+  const int64_t k = broadcast_lhs ? a.dim(1) : a.dim(2);
+  if (!broadcast_lhs && !broadcast_rhs) SAGDFN_CHECK_EQ(b.dim(0), batch);
+  const int64_t n = broadcast_rhs ? b.dim(1) : b.dim(2);
+  SAGDFN_CHECK_EQ(k, broadcast_rhs ? b.dim(0) : b.dim(1))
+      << "BatchedMatMul inner dims: " << a.shape().ToString() << " x "
+      << b.shape().ToString();
+  Tensor out{Shape({batch, m, n})};
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* a_mat = broadcast_lhs ? pa : pa + bi * m * k;
+    const float* b_mat = broadcast_rhs ? pb : pb + bi * k * n;
+    float* o_mat = po + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = o_mat + i * n;
+      const float* a_row = a_mat + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        const float* b_row = b_mat + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  Tensor out{ReducedShape(a.shape(), axis, keepdim)};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.axis_size; ++x) {
+      const float* src = pa + (o * s.axis_size + x) * s.inner;
+      float* dst = po + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdim) {
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  SAGDFN_CHECK_GT(s.axis_size, 0);
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / s.axis_size);
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  SAGDFN_CHECK_GT(s.axis_size, 0);
+  Tensor out{ReducedShape(a.shape(), axis, keepdim)};
+  out.Fill(-std::numeric_limits<float>::infinity());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < s.axis_size; ++x) {
+      const float* src = pa + (o * s.axis_size + x) * s.inner;
+      float* dst = po + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) dst[i] = std::max(dst[i], src[i]);
+    }
+  }
+  return out;
+}
+
+Tensor ArgMax(const Tensor& a, int64_t axis) {
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  SAGDFN_CHECK_GT(s.axis_size, 0);
+  Tensor out{ReducedShape(a.shape(), axis, /*keepdim=*/false)};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_idx = 0;
+      for (int64_t x = 0; x < s.axis_size; ++x) {
+        float v = pa[(o * s.axis_size + x) * s.inner + i];
+        if (v > best) {
+          best = v;
+          best_idx = x;
+        }
+      }
+      po[o * s.inner + i] = static_cast<float>(best_idx);
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += pa[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  SAGDFN_CHECK_GT(a.size(), 0);
+  return Tensor::Scalar(SumAll(a).Item() / a.size());
+}
+
+float MaxAll(const Tensor& a) {
+  SAGDFN_CHECK_GT(a.size(), 0);
+  float best = a.data()[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, a.data()[i]);
+  return best;
+}
+
+float MinAll(const Tensor& a) {
+  SAGDFN_CHECK_GT(a.size(), 0);
+  float best = a.data()[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::min(best, a.data()[i]);
+  return best;
+}
+
+Tensor ReduceTo(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  SAGDFN_CHECK(Shape::BroadcastCompatible(a.shape(), target))
+      << "ReduceTo " << a.shape().ToString() << " -> " << target.ToString();
+  Tensor current = a;
+  // Remove extra leading dims.
+  while (current.ndim() > target.ndim()) {
+    current = Sum(current, 0, /*keepdim=*/false);
+  }
+  // Sum along axes where the target is size-1.
+  for (int64_t d = 0; d < target.ndim(); ++d) {
+    if (target.dims()[d] == 1 && current.dim(d) != 1) {
+      current = Sum(current, d, /*keepdim=*/true);
+    } else {
+      SAGDFN_CHECK_EQ(current.dim(d), target.dims()[d]);
+    }
+  }
+  return current.Reshape(target.dims());
+}
+
+Tensor Transpose(const Tensor& a, int64_t axis0, int64_t axis1) {
+  axis0 = a.shape().CanonicalAxis(axis0);
+  axis1 = a.shape().CanonicalAxis(axis1);
+  if (axis0 == axis1) return a.Clone();
+  std::vector<int64_t> out_dims = a.shape().dims();
+  std::swap(out_dims[axis0], out_dims[axis1]);
+  Tensor out{Shape(out_dims)};
+
+  const auto in_strides = a.shape().Strides();
+  std::vector<int64_t> out_in_strides = in_strides;
+  std::swap(out_in_strides[axis0], out_in_strides[axis1]);
+
+  const int64_t rank = a.ndim();
+  std::vector<int64_t> index(rank, 0);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t total = a.size();
+  int64_t in_offset = 0;
+  for (int64_t flat = 0; flat < total; ++flat) {
+    po[flat] = pa[in_offset];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      in_offset += out_in_strides[d];
+      if (index[d] < out_dims[d]) break;
+      in_offset -= out_in_strides[d] * index[d];
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  SAGDFN_CHECK(!parts.empty());
+  const Shape& first = parts[0].shape();
+  axis = first.CanonicalAxis(axis);
+  int64_t axis_total = 0;
+  for (const Tensor& p : parts) {
+    SAGDFN_CHECK_EQ(p.ndim(), first.ndim());
+    for (int64_t d = 0; d < first.ndim(); ++d) {
+      if (d != axis) SAGDFN_CHECK_EQ(p.dim(d), first.dims()[d]);
+    }
+    axis_total += p.dim(axis);
+  }
+  std::vector<int64_t> out_dims = first.dims();
+  out_dims[axis] = axis_total;
+  Tensor out{Shape(out_dims)};
+
+  const AxisSplit s = SplitAtAxis(out.shape(), axis);
+  float* po = out.data();
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t p_axis = p.dim(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < s.outer; ++o) {
+      const float* src = pp + o * p_axis * s.inner;
+      float* dst = po + (o * axis_total + axis_offset) * s.inner;
+      std::copy(src, src + p_axis * s.inner, dst);
+    }
+    axis_offset += p_axis;
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts, int64_t axis) {
+  SAGDFN_CHECK(!parts.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    SAGDFN_CHECK(p.shape() == parts[0].shape());
+    std::vector<int64_t> dims = p.shape().dims();
+    int64_t ax = axis < 0 ? axis + p.ndim() + 1 : axis;
+    SAGDFN_CHECK_GE(ax, 0);
+    SAGDFN_CHECK_LE(ax, p.ndim());
+    dims.insert(dims.begin() + ax, 1);
+    expanded.push_back(p.Reshape(dims));
+  }
+  int64_t ax = axis < 0 ? axis + parts[0].ndim() + 1 : axis;
+  return Concat(expanded, ax);
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
+  axis = a.shape().CanonicalAxis(axis);
+  const int64_t axis_size = a.dim(axis);
+  SAGDFN_CHECK_GE(start, 0);
+  SAGDFN_CHECK_LE(start, end);
+  SAGDFN_CHECK_LE(end, axis_size);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[axis] = end - start;
+  Tensor out{Shape(out_dims)};
+
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t out_axis = end - start;
+  for (int64_t o = 0; o < s.outer; ++o) {
+    const float* src = pa + (o * axis_size + start) * s.inner;
+    float* dst = po + o * out_axis * s.inner;
+    std::copy(src, src + out_axis * s.inner, dst);
+  }
+  return out;
+}
+
+Tensor IndexSelect(const Tensor& a, int64_t axis,
+                   const std::vector<int64_t>& indices) {
+  axis = a.shape().CanonicalAxis(axis);
+  const int64_t axis_size = a.dim(axis);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[axis] = static_cast<int64_t>(indices.size());
+  Tensor out{Shape(out_dims)};
+
+  const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t k = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < k; ++x) {
+      const int64_t idx = indices[x];
+      SAGDFN_CHECK_GE(idx, 0);
+      SAGDFN_CHECK_LT(idx, axis_size);
+      const float* src = pa + (o * axis_size + idx) * s.inner;
+      float* dst = po + (o * k + x) * s.inner;
+      std::copy(src, src + s.inner, dst);
+    }
+  }
+  return out;
+}
+
+void IndexAddInto(Tensor& dst, int64_t axis,
+                  const std::vector<int64_t>& indices, const Tensor& src) {
+  axis = dst.shape().CanonicalAxis(axis);
+  const int64_t axis_size = dst.dim(axis);
+  SAGDFN_CHECK_EQ(src.dim(axis), static_cast<int64_t>(indices.size()));
+  SAGDFN_CHECK_EQ(src.ndim(), dst.ndim());
+  for (int64_t d = 0; d < dst.ndim(); ++d) {
+    if (d != axis) SAGDFN_CHECK_EQ(src.dim(d), dst.dim(d));
+  }
+  const AxisSplit s = SplitAtAxis(dst.shape(), axis);
+  const int64_t k = static_cast<int64_t>(indices.size());
+  const float* ps = src.data();
+  float* pd = dst.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t x = 0; x < k; ++x) {
+      const int64_t idx = indices[x];
+      SAGDFN_CHECK_GE(idx, 0);
+      SAGDFN_CHECK_LT(idx, axis_size);
+      const float* sp = ps + (o * k + x) * s.inner;
+      float* dp = pd + (o * axis_size + idx) * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) dp[i] += sp[i];
+    }
+  }
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  Tensor shifted = Sub(a, Max(a, axis, /*keepdim=*/true));
+  Tensor e = Exp(shifted);
+  return Div(e, Sum(e, axis, /*keepdim=*/true));
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!(a.shape() == b.shape())) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (std::isnan(diff) ||
+        diff > atol + rtol * std::fabs(pb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HasNonFinite(const Tensor& a) {
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(pa[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace sagdfn::tensor

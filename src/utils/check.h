@@ -1,0 +1,85 @@
+#ifndef SAGDFN_UTILS_CHECK_H_
+#define SAGDFN_UTILS_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Fatal-check macros for programming errors (shape mismatches, broken
+// invariants). These abort the process with a message; they are not meant
+// for recoverable runtime errors, which use sagdfn::utils::Status instead.
+
+namespace sagdfn::utils::internal {
+
+/// Collects a streamed message and aborts on destruction. Used by the
+/// SAGDFN_CHECK* macros; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " Check failed: "
+            << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed expression to void so the ternary in the CHECK
+/// macros type-checks; `&` binds looser than `<<`, letting user messages
+/// chain onto the stream first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace sagdfn::utils::internal
+
+#define SAGDFN_CHECK(condition)                                \
+  (condition) ? (void)0                                        \
+              : ::sagdfn::utils::internal::Voidify() &         \
+                    ::sagdfn::utils::internal::FatalMessage(   \
+                        __FILE__, __LINE__, #condition)        \
+                        .stream()
+
+#define SAGDFN_CHECK_OP(op, a, b)                                     \
+  ((a)op(b)) ? (void)0                                                \
+             : ::sagdfn::utils::internal::Voidify() &                 \
+                   (::sagdfn::utils::internal::FatalMessage(          \
+                        __FILE__, __LINE__, #a " " #op " " #b)        \
+                        .stream()                                     \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define SAGDFN_CHECK_EQ(a, b) SAGDFN_CHECK_OP(==, a, b)
+#define SAGDFN_CHECK_NE(a, b) SAGDFN_CHECK_OP(!=, a, b)
+#define SAGDFN_CHECK_LT(a, b) SAGDFN_CHECK_OP(<, a, b)
+#define SAGDFN_CHECK_LE(a, b) SAGDFN_CHECK_OP(<=, a, b)
+#define SAGDFN_CHECK_GT(a, b) SAGDFN_CHECK_OP(>, a, b)
+#define SAGDFN_CHECK_GE(a, b) SAGDFN_CHECK_OP(>=, a, b)
+
+#ifndef NDEBUG
+#define SAGDFN_DCHECK(condition) SAGDFN_CHECK(condition)
+#define SAGDFN_DCHECK_EQ(a, b) SAGDFN_CHECK_EQ(a, b)
+#define SAGDFN_DCHECK_LT(a, b) SAGDFN_CHECK_LT(a, b)
+#define SAGDFN_DCHECK_GE(a, b) SAGDFN_CHECK_GE(a, b)
+#else
+#define SAGDFN_DCHECK(condition) \
+  while (false) SAGDFN_CHECK(condition)
+#define SAGDFN_DCHECK_EQ(a, b) \
+  while (false) SAGDFN_CHECK_EQ(a, b)
+#define SAGDFN_DCHECK_LT(a, b) \
+  while (false) SAGDFN_CHECK_LT(a, b)
+#define SAGDFN_DCHECK_GE(a, b) \
+  while (false) SAGDFN_CHECK_GE(a, b)
+#endif
+
+#endif  // SAGDFN_UTILS_CHECK_H_

@@ -1,0 +1,18 @@
+#ifndef SAGDFN_UTILS_MEMORY_INFO_H_
+#define SAGDFN_UTILS_MEMORY_INFO_H_
+
+#include <cstdint>
+
+namespace sagdfn::utils {
+
+/// Returns the process peak resident set size in bytes (from
+/// /proc/self/status VmHWM), or 0 if unavailable.
+int64_t PeakRssBytes();
+
+/// Returns the current resident set size in bytes (VmRSS), or 0 if
+/// unavailable.
+int64_t CurrentRssBytes();
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_MEMORY_INFO_H_

@@ -1,0 +1,101 @@
+#include "utils/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "utils/check.h"
+
+namespace sagdfn::utils {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  SAGDFN_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return static_cast<int64_t>(v % un);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SAGDFN_CHECK_LT(lo, hi);
+  return lo + UniformInt(hi - lo);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  SAGDFN_CHECK_GE(k, 0);
+  SAGDFN_CHECK_LE(k, n);
+  // Partial Fisher-Yates over [0, n).
+  std::vector<int64_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  return SampleWithoutReplacement(n, n);
+}
+
+}  // namespace sagdfn::utils

@@ -1,0 +1,116 @@
+#ifndef SAGDFN_UTILS_STATUS_H_
+#define SAGDFN_UTILS_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace sagdfn::utils {
+
+/// Error categories for recoverable failures (I/O, malformed input,
+/// configuration errors). Programming errors use SAGDFN_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic result of an operation that can fail recoverably.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SAGDFN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; fatal if this holds an error.
+  const T& value() const& {
+    SAGDFN_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SAGDFN_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SAGDFN_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sagdfn::utils
+
+/// Propagates a non-OK status from the enclosing function.
+#define SAGDFN_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::sagdfn::utils::Status _status = (expr);     \
+    if (!_status.ok()) return _status;            \
+  } while (false)
+
+#endif  // SAGDFN_UTILS_STATUS_H_

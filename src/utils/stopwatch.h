@@ -1,0 +1,32 @@
+#ifndef SAGDFN_UTILS_STOPWATCH_H_
+#define SAGDFN_UTILS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sagdfn::utils {
+
+/// Wall-clock stopwatch for timing epochs, benches, and profiling blocks.
+class Stopwatch {
+ public:
+  /// Starts timing immediately.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef SAGDFN_UTILS_STRING_UTIL_H_
+#define SAGDFN_UTILS_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sagdfn::utils {
+
+/// Splits `text` on `delim`; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.50 GiB".
+std::string FormatBytes(double bytes);
+
+/// Parses a string as double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a string as int64; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_STRING_UTIL_H_

@@ -1,0 +1,213 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn::autograd {
+namespace {
+
+using tensor::AllClose;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor T(std::vector<float> v, std::initializer_list<int64_t> dims) {
+  return Tensor::FromVector(std::move(v), Shape(dims));
+}
+
+TEST(AutogradTest, AddBackward) {
+  Variable a(T({1, 2}, {2}), true);
+  Variable b(T({3, 4}, {2}), true);
+  Variable loss = SumAll(Add(a, b));
+  loss.Backward();
+  EXPECT_TRUE(AllClose(a.grad(), Tensor::Ones(Shape({2}))));
+  EXPECT_TRUE(AllClose(b.grad(), Tensor::Ones(Shape({2}))));
+}
+
+TEST(AutogradTest, MulBackwardUsesOtherValue) {
+  Variable a(T({2, 3}, {2}), true);
+  Variable b(T({5, 7}, {2}), true);
+  SumAll(Mul(a, b)).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), T({5, 7}, {2})));
+  EXPECT_TRUE(AllClose(b.grad(), T({2, 3}, {2})));
+}
+
+TEST(AutogradTest, BroadcastBackwardReduces) {
+  Variable a(T({1, 2, 3, 4, 5, 6}, {2, 3}), true);
+  Variable b(T({10, 20, 30}, {3}), true);
+  SumAll(Add(a, b)).Backward();
+  EXPECT_EQ(b.grad().shape(), Shape({3}));
+  EXPECT_TRUE(AllClose(b.grad(), T({2, 2, 2}, {3})));
+}
+
+TEST(AutogradTest, ChainRuleThroughReuse) {
+  // y = x * x => dy/dx = 2x (same variable used twice).
+  Variable x(T({3}, {1}), true);
+  SumAll(Mul(x, x)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // z = (x + x) + (x * x); dz/dx = 2 + 2x = 8 at x=3.
+  Variable x(T({3}, {1}), true);
+  Variable z = Add(Add(x, x), Mul(x, x));
+  SumAll(z).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+}
+
+TEST(AutogradTest, MatMulBackward) {
+  Variable a(T({1, 2, 3, 4}, {2, 2}), true);
+  Variable b(T({1, 0, 0, 1}, {2, 2}), true);
+  SumAll(MatMul(a, b)).Backward();
+  // d/dA sum(AB) = ones @ B^T.
+  EXPECT_TRUE(AllClose(a.grad(), T({1, 1, 1, 1}, {2, 2})));
+  // d/dB sum(AB) = A^T @ ones.
+  EXPECT_TRUE(AllClose(b.grad(), T({4, 4, 6, 6}, {2, 2})));
+}
+
+TEST(AutogradTest, NoGradWhenNotRequired) {
+  Variable a(T({1, 2}, {2}), false);
+  Variable b(T({3, 4}, {2}), true);
+  Variable out = Mul(a, b);
+  SumAll(out).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), Tensor::Zeros(Shape({2}))));
+  EXPECT_TRUE(AllClose(b.grad(), T({1, 2}, {2})));
+}
+
+TEST(AutogradTest, NoGradGuardDisablesTape) {
+  Variable a(T({1, 2}, {2}), true);
+  Variable out;
+  {
+    NoGradGuard guard;
+    out = Mul(a, a);
+  }
+  EXPECT_FALSE(out.requires_grad());
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Variable a(T({2}, {1}), true);
+  Variable d = Mul(a, a).Detach();
+  Variable out = Mul(d, a);  // only the direct factor contributes
+  SumAll(out).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);  // d = 4 constant, d*(da)=4
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Variable a(T({1}, {1}), true);
+  SumAll(Mul(a, a)).Backward();
+  EXPECT_NE(a.grad()[0], 0.0f);
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwards) {
+  Variable a(T({1}, {1}), true);
+  SumAll(Mul(a, a)).Backward();
+  const float g1 = a.grad()[0];
+  SumAll(Mul(a, a)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2 * g1);
+}
+
+TEST(AutogradTest, SliceConcatRoundTrip) {
+  Variable a(T({1, 2, 3, 4}, {4}), true);
+  Variable left = Slice(a, 0, 0, 2);
+  Variable right = Slice(a, 0, 2, 4);
+  Variable back = Concat({right, left}, 0);  // swapped halves
+  SumAll(Mul(back, back)).Backward();
+  // d/dx sum(x^2) = 2x regardless of the permutation.
+  EXPECT_TRUE(AllClose(a.grad(), T({2, 4, 6, 8}, {4})));
+}
+
+TEST(AutogradTest, IndexSelectBackwardScatters) {
+  Variable a(T({1, 2, 3}, {3}), true);
+  Variable s = IndexSelect(a, 0, {0, 0, 2});
+  SumAll(s).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), T({2, 0, 1}, {3})));
+}
+
+TEST(AutogradTest, SoftmaxGradientSumsToZero) {
+  utils::Rng rng(4);
+  Variable a(Tensor::Normal(Shape({5}), rng), true);
+  Variable s = Softmax(a, 0);
+  // d/dz sum_i w_i p_i has zero sum (softmax Jacobian rows sum to 0).
+  Variable w(Tensor::Normal(Shape({5}), rng), false);
+  SumAll(Mul(s, w)).Backward();
+  float total = 0.0f;
+  for (int64_t i = 0; i < 5; ++i) total += a.grad()[i];
+  EXPECT_NEAR(total, 0.0f, 1e-5f);
+}
+
+TEST(AutogradTest, L1LossValueAndGrad) {
+  Variable pred(T({1, 4}, {2}), true);
+  Variable target(T({2, 2}, {2}), false);
+  Variable loss = L1Loss(pred, target);
+  EXPECT_FLOAT_EQ(loss.value().Item(), 1.5f);  // (1 + 2) / 2
+  loss.Backward();
+  EXPECT_TRUE(AllClose(pred.grad(), T({-0.5f, 0.5f}, {2})));
+}
+
+TEST(AutogradTest, MseLossValue) {
+  Variable pred(T({1, 4}, {2}), true);
+  Variable target(T({2, 2}, {2}), false);
+  EXPECT_FLOAT_EQ(MseLoss(pred, target).value().Item(), 2.5f);  // (1+4)/2
+}
+
+TEST(AutogradTest, MaskedL1IgnoresMaskedEntries) {
+  Variable pred(T({1, 100}, {2}), true);
+  Variable target(T({2, 0}, {2}), false);
+  tensor::Tensor mask = T({1, 0}, {2});
+  Variable loss = MaskedL1Loss(pred, target, mask);
+  EXPECT_FLOAT_EQ(loss.value().Item(), 1.0f);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(pred.grad()[1], 0.0f);
+}
+
+TEST(AutogradTest, ExpandBackwardReduces) {
+  Variable a(T({1, 2}, {2}), true);
+  Variable e = Expand(a, Shape({3, 2}));
+  EXPECT_EQ(e.shape(), Shape({3, 2}));
+  SumAll(e).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), T({3, 3}, {2})));
+}
+
+TEST(AutogradTest, MaxBackwardRoutesToArgmax) {
+  Variable a(T({1, 5, 3}, {3}), true);
+  SumAll(Max(a, 0)).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), T({0, 1, 0}, {3})));
+}
+
+TEST(AutogradTest, TransposeReshapeBackward) {
+  Variable a(T({1, 2, 3, 4, 5, 6}, {2, 3}), true);
+  Variable t = Transpose(a, 0, 1);           // [3, 2]
+  Variable r = Reshape(t, {6});
+  Variable w(T({1, 2, 3, 4, 5, 6}, {6}), false);
+  SumAll(Mul(r, w)).Backward();
+  // r = [a00,a10,a01,a11,a02,a12]; grads land back transposed.
+  EXPECT_TRUE(AllClose(a.grad(), T({1, 3, 5, 2, 4, 6}, {2, 3})));
+}
+
+TEST(AutogradTest, StackBackwardSplits) {
+  Variable a(T({1, 2}, {2}), true);
+  Variable b(T({3, 4}, {2}), true);
+  Variable s = Stack({a, b}, 0);  // [2, 2]
+  Variable w(T({1, 10, 100, 1000}, {2, 2}), false);
+  SumAll(Mul(s, w)).Backward();
+  EXPECT_TRUE(AllClose(a.grad(), T({1, 10}, {2})));
+  EXPECT_TRUE(AllClose(b.grad(), T({100, 1000}, {2})));
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Variable a(T({1, 2}, {2}), true);
+  EXPECT_DEATH(Add(a, a).Backward(), "scalar");
+}
+
+TEST(AutogradTest, SetRequiresGradOnNonLeafDies) {
+  Variable a(T({1}, {1}), true);
+  Variable b = Mul(a, a);
+  EXPECT_DEATH(b.set_requires_grad(false), "non-leaf");
+}
+
+}  // namespace
+}  // namespace sagdfn::autograd

@@ -1,0 +1,91 @@
+// Protocol conformance: every model in the registry (classical, STGNN
+// family, temporal-only, SAGDFN) must honor the Forecaster contract on a
+// tiny dataset — correct prediction shapes, finite outputs, reported fit
+// time, and determinism under a fixed seed. Parameterized over the full
+// registry so adding a baseline automatically extends coverage.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace sagdfn::baselines {
+namespace {
+
+data::ForecastDataset TinyDataset() {
+  data::TrafficOptions options;
+  options.num_nodes = 8;
+  options.num_days = 4;
+  options.steps_per_day = 48;
+  options.seed = 12;
+  return data::ForecastDataset(data::GenerateTraffic(options),
+                               data::WindowSpec{4, 3});
+}
+
+FitOptions TinyFit() {
+  FitOptions options;
+  options.epochs = 1;
+  options.batch_size = 4;
+  options.max_train_batches_per_epoch = 2;
+  options.max_eval_batches = 2;
+  options.seed = 77;
+  return options;
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = PaperBaselineNames();
+  for (const auto& name : NonGnnBaselineNames()) names.push_back(name);
+  names.push_back("SAGDFN");
+  names.push_back("HistoricalAverage");
+  return names;
+}
+
+class ForecasterProtocol : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ForecasterProtocol, FitPredictContract) {
+  data::ForecastDataset dataset = TinyDataset();
+  auto model = MakeForecaster(GetParam(), ModelSizing{});
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), GetParam());
+
+  model->Fit(dataset, TinyFit());
+  EXPECT_GE(model->LastFitSeconds(), 0.0);
+  EXPECT_GE(model->ParameterCount(), 0);
+
+  tensor::Tensor pred =
+      model->Predict(dataset, data::Split::kTest, 8);
+  ASSERT_EQ(pred.ndim(), 3);
+  EXPECT_EQ(pred.dim(1), dataset.spec().horizon);
+  EXPECT_EQ(pred.dim(2), dataset.num_nodes());
+  EXPECT_GT(pred.dim(0), 0);
+  EXPECT_FALSE(tensor::HasNonFinite(pred));
+
+  // Predictions land in a sane band for speeds clipped to [3, 80].
+  EXPECT_GT(tensor::MinAll(pred), -100.0f);
+  EXPECT_LT(tensor::MaxAll(pred), 200.0f);
+}
+
+TEST_P(ForecasterProtocol, DeterministicUnderFixedSeed) {
+  data::ForecastDataset dataset = TinyDataset();
+  auto run = [&]() {
+    auto model = MakeForecaster(GetParam(), ModelSizing{});
+    model->Fit(dataset, TinyFit());
+    return model->Predict(dataset, data::Split::kValidation, 4);
+  };
+  tensor::Tensor a = run();
+  tensor::Tensor b = run();
+  EXPECT_TRUE(tensor::AllClose(a, b)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ForecasterProtocol, ::testing::ValuesIn(AllRegistryNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sagdfn::baselines

@@ -1,0 +1,94 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn::metrics {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4}, Shape({4}));
+  Scores s = Evaluate(t, t);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(s.mape, 0.0);
+}
+
+TEST(MetricsTest, KnownValues) {
+  Tensor pred = Tensor::FromVector({2, 2}, Shape({2}));
+  Tensor truth = Tensor::FromVector({1, 4}, Shape({2}));
+  EXPECT_DOUBLE_EQ(MaskedMae(pred, truth), 1.5);           // (1 + 2) / 2
+  EXPECT_NEAR(MaskedRmse(pred, truth), std::sqrt(2.5), 1e-9);
+  EXPECT_NEAR(MaskedMape(pred, truth), (1.0 + 0.5) / 2, 1e-9);
+}
+
+TEST(MetricsTest, ZeroTruthMasked) {
+  // Second entry has truth 0 -> excluded entirely.
+  Tensor pred = Tensor::FromVector({2, 100}, Shape({2}));
+  Tensor truth = Tensor::FromVector({1, 0}, Shape({2}));
+  EXPECT_DOUBLE_EQ(MaskedMae(pred, truth), 1.0);
+  EXPECT_DOUBLE_EQ(MaskedMape(pred, truth), 1.0);
+}
+
+TEST(MetricsTest, AllMaskedReturnsZero) {
+  Tensor pred = Tensor::FromVector({5, 5}, Shape({2}));
+  Tensor truth = Tensor::Zeros(Shape({2}));
+  Scores s = Evaluate(pred, truth);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+}
+
+TEST(MetricsTest, RmseAtLeastMae) {
+  utils::Rng rng(1);
+  Tensor pred = Tensor::Uniform(Shape({100}), rng, 1.0f, 2.0f);
+  Tensor truth = Tensor::Uniform(Shape({100}), rng, 1.0f, 2.0f);
+  EXPECT_GE(MaskedRmse(pred, truth), MaskedMae(pred, truth));
+}
+
+TEST(MetricsTest, HorizonSlicing) {
+  // [S=1, f=3, N=2]; horizon h picks row h-1.
+  Tensor pred = Tensor::FromVector({1, 1, 2, 2, 3, 3}, Shape({1, 3, 2}));
+  Tensor truth = Tensor::FromVector({1, 1, 1, 1, 1, 1}, Shape({1, 3, 2}));
+  auto scores = EvaluateHorizons(pred, truth, {1, 2, 3});
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0].mae, 0.0);
+  EXPECT_DOUBLE_EQ(scores[1].mae, 1.0);
+  EXPECT_DOUBLE_EQ(scores[2].mae, 2.0);
+}
+
+TEST(MetricsTest, ScoresToString) {
+  Scores s;
+  s.mae = 2.561;
+  s.rmse = 5.004;
+  s.mape = 0.0653;
+  EXPECT_EQ(s.ToString(), "2.56 5.00 6.5%");
+}
+
+// Property: scaling errors scales MAE/RMSE linearly; MAPE is
+// scale-invariant under joint scaling of pred and truth.
+class MetricScaleProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(MetricScaleProperty, Scaling) {
+  utils::Rng rng(2);
+  Tensor truth = Tensor::Uniform(Shape({50}), rng, 5.0f, 10.0f);
+  Tensor noise = Tensor::Uniform(Shape({50}), rng, -1.0f, 1.0f);
+  Tensor pred = tensor::Add(truth, noise);
+  const float k = GetParam();
+  Tensor pred_k = tensor::MulScalar(pred, k);
+  Tensor truth_k = tensor::MulScalar(truth, k);
+  EXPECT_NEAR(MaskedMae(pred_k, truth_k), k * MaskedMae(pred, truth),
+              1e-3);
+  EXPECT_NEAR(MaskedMape(pred_k, truth_k), MaskedMape(pred, truth), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, MetricScaleProperty,
+                         ::testing::Values(2.0f, 5.0f, 10.0f));
+
+}  // namespace
+}  // namespace sagdfn::metrics

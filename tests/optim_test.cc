@@ -1,0 +1,143 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/lr_scheduler.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn::optim {
+namespace {
+
+namespace ag = ::sagdfn::autograd;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Minimizes f(w) = mean((w - target)^2) and returns the final w.
+template <typename MakeOpt>
+Tensor MinimizeQuadratic(MakeOpt make_opt, int64_t steps) {
+  ag::Variable w(Tensor::Full(Shape({4}), 5.0f), true);
+  ag::Variable target(Tensor::FromVector({1, -2, 0.5f, 3}, Shape({4})));
+  auto opt = make_opt(std::vector<ag::Variable>{w});
+  for (int64_t i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    ag::MseLoss(w, target).Backward();
+    opt->Step();
+  }
+  return w.value();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<ag::Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.2);
+      },
+      200);
+  EXPECT_TRUE(tensor::AllClose(
+      w, Tensor::FromVector({1, -2, 0.5f, 3}, Shape({4})), 1e-2f, 1e-2f));
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  // With momentum the same step budget gets at least as close.
+  auto dist = [](const Tensor& w) {
+    Tensor t = Tensor::FromVector({1, -2, 0.5f, 3}, Shape({4}));
+    return tensor::SumAll(tensor::Abs(tensor::Sub(w, t))).Item();
+  };
+  Tensor plain = MinimizeQuadratic(
+      [](std::vector<ag::Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05);
+      },
+      30);
+  Tensor momentum = MinimizeQuadratic(
+      [](std::vector<ag::Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05, 0.9);
+      },
+      30);
+  EXPECT_LE(dist(momentum), dist(plain));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<ag::Variable> p) {
+        return std::make_unique<Adam>(std::move(p), 0.1);
+      },
+      300);
+  EXPECT_TRUE(tensor::AllClose(
+      w, Tensor::FromVector({1, -2, 0.5f, 3}, Shape({4})), 2e-2f, 2e-2f));
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  ag::Variable w(Tensor::Ones(Shape({1})), true);
+  Adam adam({w}, 0.01);
+  EXPECT_EQ(adam.step_count(), 0);
+  ag::MseLoss(w, ag::Variable(Tensor::Zeros(Shape({1})))).Backward();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(AdamTest, WeightDecayShrinks) {
+  // With zero gradient signal, weight decay alone should shrink weights.
+  ag::Variable w(Tensor::Full(Shape({2}), 1.0f), true);
+  Adam adam({w}, 0.05, 0.9, 0.999, 1e-8, 0.5);
+  for (int i = 0; i < 50; ++i) {
+    adam.ZeroGrad();
+    // Loss that is constant in w: gradient is zero, only decay acts.
+    ag::Variable loss(Tensor::Scalar(0.0f), true);
+    w.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.value()[0]), 1.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  ag::Variable w(Tensor::Zeros(Shape({2})), true);
+  ag::Variable target(Tensor::Full(Shape({2}), 100.0f));
+  ag::MseLoss(w, target).Backward();
+  const double pre = ClipGradNorm({w}, 1.0);
+  EXPECT_GT(pre, 1.0);
+  double post = 0.0;
+  Tensor g = w.grad();
+  for (int64_t i = 0; i < g.size(); ++i) post += g[i] * g[i];
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-4);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  ag::Variable w(Tensor::Zeros(Shape({2})), true);
+  ag::Variable target(Tensor::Full(Shape({2}), 0.01f));
+  ag::MseLoss(w, target).Backward();
+  Tensor before = w.grad().Clone();
+  ClipGradNorm({w}, 10.0);
+  EXPECT_TRUE(tensor::AllClose(w.grad(), before));
+}
+
+TEST(MultiStepLrTest, DecaysAtMilestones) {
+  ag::Variable w(Tensor::Ones(Shape({1})), true);
+  Sgd sgd({w}, 1.0);
+  MultiStepLr scheduler(&sgd, {2, 5}, 0.1);
+  scheduler.Step(0);
+  EXPECT_DOUBLE_EQ(sgd.lr(), 1.0);
+  scheduler.Step(2);
+  EXPECT_NEAR(sgd.lr(), 0.1, 1e-12);
+  scheduler.Step(3);
+  EXPECT_NEAR(sgd.lr(), 0.1, 1e-12);
+  scheduler.Step(5);
+  EXPECT_NEAR(sgd.lr(), 0.01, 1e-12);
+}
+
+TEST(CosineLrTest, AnnealsToMin) {
+  ag::Variable w(Tensor::Ones(Shape({1})), true);
+  Sgd sgd({w}, 1.0);
+  CosineLr scheduler(&sgd, 10, 0.1);
+  scheduler.Step(0);
+  EXPECT_NEAR(sgd.lr(), 1.0, 1e-9);
+  scheduler.Step(5);
+  EXPECT_NEAR(sgd.lr(), 0.55, 1e-9);
+  scheduler.Step(10);
+  EXPECT_NEAR(sgd.lr(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace sagdfn::optim

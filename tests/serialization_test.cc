@@ -1,0 +1,109 @@
+#include <fstream>
+#include "nn/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/sagdfn.h"
+#include "nn/mlp.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn::nn {
+namespace {
+
+namespace ag = ::sagdfn::autograd;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, MlpRoundTrip) {
+  utils::Rng rng(1);
+  Mlp original({3, 5, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(SaveModule(original, path).ok());
+
+  utils::Rng rng2(99);  // different init
+  Mlp restored({3, 5, 2}, Activation::kRelu, rng2);
+  ASSERT_TRUE(LoadModule(&restored, path).ok());
+
+  // Identical outputs after loading.
+  Tensor x = Tensor::Uniform(Shape({4, 3}), rng);
+  Tensor y1 = original.Forward(ag::Variable(x)).value();
+  Tensor y2 = restored.Forward(ag::Variable(x)).value();
+  EXPECT_TRUE(tensor::AllClose(y1, y2));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SagdfnModelRoundTrip) {
+  core::SagdfnConfig config;
+  config.num_nodes = 8;
+  config.embedding_dim = 4;
+  config.m = 4;
+  config.k = 3;
+  config.hidden_dim = 6;
+  config.heads = 2;
+  config.ffn_hidden = 4;
+  config.history = 4;
+  config.horizon = 2;
+  core::SagdfnModel original(config);
+  const std::string path = TempPath("sagdfn.ckpt");
+  ASSERT_TRUE(SaveModule(original, path).ok());
+
+  config.seed = 1234;  // different init seed
+  core::SagdfnModel restored(config);
+  ASSERT_TRUE(LoadModule(&restored, path).ok());
+  EXPECT_TRUE(tensor::AllClose(restored.embeddings().value(),
+                               original.embeddings().value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchRejected) {
+  utils::Rng rng(2);
+  Mlp small({3, 4, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveModule(small, path).ok());
+  Mlp bigger({3, 8, 2}, Activation::kRelu, rng);
+  utils::Status status = LoadModule(&bigger, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), utils::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileRejected) {
+  utils::Rng rng(3);
+  Mlp mlp({2, 2}, Activation::kRelu, rng);
+  utils::Status status = LoadModule(&mlp, "/nonexistent/model.ckpt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), utils::StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, CorruptFileRejected) {
+  const std::string path = TempPath("corrupt.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  utils::Rng rng(4);
+  Mlp mlp({2, 2}, Activation::kRelu, rng);
+  utils::Status status = LoadModule(&mlp, path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ParameterCountMismatchRejected) {
+  utils::Rng rng(5);
+  Mlp two_layers({2, 3, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveModule(two_layers, path).ok());
+  Mlp one_layer({2, 2}, Activation::kRelu, rng);
+  EXPECT_FALSE(LoadModule(&one_layer, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sagdfn::nn

@@ -1,0 +1,91 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace sagdfn::tensor {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s(std::vector<int64_t>{});
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(ShapeTest, ZeroDimension) {
+  Shape s({0, 5});
+  EXPECT_EQ(s.NumElements(), 0);
+}
+
+TEST(ShapeTest, Strides) {
+  Shape s({2, 3, 4});
+  auto strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, CanonicalAxisNegative) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.CanonicalAxis(-1), 2);
+  EXPECT_EQ(s.CanonicalAxis(-3), 0);
+  EXPECT_EQ(s.CanonicalAxis(1), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, BroadcastSameShape) {
+  EXPECT_EQ(Shape::Broadcast(Shape({2, 3}), Shape({2, 3})), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastTrailingOnes) {
+  EXPECT_EQ(Shape::Broadcast(Shape({2, 1}), Shape({2, 5})), Shape({2, 5}));
+  EXPECT_EQ(Shape::Broadcast(Shape({1, 5}), Shape({4, 1})), Shape({4, 5}));
+}
+
+TEST(ShapeTest, BroadcastRankPromotion) {
+  EXPECT_EQ(Shape::Broadcast(Shape({5}), Shape({3, 5})), Shape({3, 5}));
+  EXPECT_EQ(Shape::Broadcast(Shape({4, 1, 2}), Shape({3, 1})),
+            Shape({4, 3, 2}));
+}
+
+TEST(ShapeTest, BroadcastCompatibility) {
+  EXPECT_TRUE(Shape::BroadcastCompatible(Shape({2, 3}), Shape({3})));
+  EXPECT_FALSE(Shape::BroadcastCompatible(Shape({2, 3}), Shape({2, 4})));
+  EXPECT_TRUE(Shape::BroadcastCompatible(Shape({1}), Shape({7, 7})));
+}
+
+// Property sweep: broadcasting with an all-ones shape of equal rank is
+// identity.
+class ShapeBroadcastProperty
+    : public ::testing::TestWithParam<std::vector<int64_t>> {};
+
+TEST_P(ShapeBroadcastProperty, OnesIsIdentity) {
+  Shape s(GetParam());
+  std::vector<int64_t> ones(GetParam().size(), 1);
+  EXPECT_EQ(Shape::Broadcast(s, Shape(ones)), s);
+  EXPECT_EQ(Shape::Broadcast(Shape(ones), s), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeBroadcastProperty,
+    ::testing::Values(std::vector<int64_t>{3},
+                      std::vector<int64_t>{2, 5},
+                      std::vector<int64_t>{4, 1, 6},
+                      std::vector<int64_t>{2, 3, 4, 5}));
+
+}  // namespace
+}  // namespace sagdfn::tensor

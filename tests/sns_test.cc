@@ -1,0 +1,168 @@
+#include "core/sns.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace sagdfn::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SnsTest, CandidateRowsAreDistinctIds) {
+  SignificantNeighborSampler sampler(50, 10, 8, 1);
+  for (int64_t i = 0; i < 50; ++i) {
+    const auto& row = sampler.candidates(i);
+    ASSERT_EQ(row.size(), 10u);
+    std::set<int64_t> unique(row.begin(), row.end());
+    EXPECT_EQ(unique.size(), 10u);  // "each node id once per row"
+    for (int64_t v : row) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 50);
+    }
+  }
+}
+
+TEST(SnsTest, SampleReturnsMDistinctIndices) {
+  SignificantNeighborSampler sampler(40, 12, 9, 2);
+  utils::Rng rng(3);
+  Tensor e = Tensor::Normal(Shape({40, 6}), rng);
+  for (bool explore : {true, false}) {
+    auto index_set = sampler.Sample(e, explore);
+    EXPECT_EQ(index_set.size(), 12u);
+    std::set<int64_t> unique(index_set.begin(), index_set.end());
+    EXPECT_EQ(unique.size(), 12u);
+  }
+}
+
+TEST(SnsTest, RanksByEmbeddingDistance) {
+  // Embeddings on a line: candidates get sorted by distance to the row
+  // node after one Sample() call.
+  const int64_t n = 20;
+  SignificantNeighborSampler sampler(n, 6, 4, 4);
+  Tensor e = Tensor::Zeros(Shape({n, 1}));
+  for (int64_t i = 0; i < n; ++i) e[i] = static_cast<float>(i);
+  sampler.Sample(e, true);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& row = sampler.candidates(i);
+    for (size_t j = 0; j + 1 < row.size(); ++j) {
+      const float d1 = std::abs(static_cast<float>(row[j] - i));
+      const float d2 = std::abs(static_cast<float>(row[j + 1] - i));
+      EXPECT_LE(d1, d2) << "row " << i << " pos " << j;
+    }
+  }
+}
+
+TEST(SnsTest, GloballySignificantNodesSelected) {
+  // Hub construction: nodes 0..4 sit at the origin; every other node i
+  // sits alone on its own embedding axis at radius R, so non-hub nodes
+  // are R*sqrt(2) apart but only R from the hubs — the hubs are strictly
+  // the nearest neighbors of every node and should dominate the top-K
+  // frequency ranking.
+  const int64_t n = 60;
+  const int64_t m = 10;
+  const int64_t k = 5;
+  SignificantNeighborSampler sampler(n, m, k, 5);
+  Tensor e = Tensor::Zeros(Shape({n, n}));
+  for (int64_t i = 5; i < n; ++i) {
+    e.At({i, i}) = 10.0f;
+  }
+  // A few rounds so the candidate queues mix (exploration refreshes).
+  std::vector<int64_t> index_set;
+  for (int round = 0; round < 3; ++round) {
+    index_set = sampler.Sample(e, true);
+  }
+  index_set = sampler.Sample(e, false);
+  int hub_count = 0;
+  for (int64_t v : index_set) {
+    if (v < 5) ++hub_count;
+  }
+  // Not all hubs are guaranteed to be candidate-visible, but several must
+  // be: each hub is in ~M/N of the rows' candidate sets and always ranks
+  // first there.
+  EXPECT_GE(hub_count, 3);
+}
+
+TEST(SnsTest, ExploreFillsFromOutsideTopK) {
+  const int64_t n = 30;
+  const int64_t m = 10;
+  const int64_t k = 6;
+  SignificantNeighborSampler sampler(n, m, k, 7);
+  utils::Rng rng(8);
+  Tensor e = Tensor::Normal(Shape({n, 4}), rng);
+  auto with_explore = sampler.Sample(e, true);
+  // First K entries are the frequency ranking; remaining M-K are drawn
+  // from outside that set — so they must not duplicate the first K.
+  std::set<int64_t> top(with_explore.begin(), with_explore.begin() + k);
+  for (int64_t j = k; j < m; ++j) {
+    EXPECT_EQ(top.count(with_explore[j]), 0u);
+  }
+}
+
+TEST(SnsTest, ExplorationIsRandomAcrossCalls) {
+  const int64_t n = 100;
+  SignificantNeighborSampler sampler(n, 20, 10, 9);
+  utils::Rng rng(10);
+  Tensor e = Tensor::Normal(Shape({n, 3}), rng);
+  auto a = sampler.Sample(e, true);
+  auto b = sampler.Sample(e, true);
+  // The exploration tails should differ with high probability.
+  std::vector<int64_t> tail_a(a.begin() + 10, a.end());
+  std::vector<int64_t> tail_b(b.begin() + 10, b.end());
+  EXPECT_NE(tail_a, tail_b);
+}
+
+TEST(SnsTest, FrozenModeNeedsNoRandomFill) {
+  const int64_t n = 25;
+  SignificantNeighborSampler sampler(n, 8, 5, 11);
+  utils::Rng rng(12);
+  Tensor e = Tensor::Normal(Shape({n, 2}), rng);
+  auto a = sampler.Sample(e, false);
+  auto b = sampler.Sample(e, false);
+  // Without exploration the draw is deterministic given embeddings.
+  EXPECT_EQ(a, b);
+}
+
+TEST(SnsTest, InvalidConfigDies) {
+  EXPECT_DEATH(SignificantNeighborSampler(10, 12, 5, 1), "m");
+  EXPECT_DEATH(SignificantNeighborSampler(10, 5, 7, 1), "k");
+}
+
+// Property sweep over (N, M, K): the invariants |I| = M, distinctness,
+// and id range hold.
+struct SnsCase {
+  int64_t n;
+  int64_t m;
+  int64_t k;
+};
+
+class SnsProperty : public ::testing::TestWithParam<SnsCase> {};
+
+TEST_P(SnsProperty, IndexSetInvariants) {
+  const auto& c = GetParam();
+  SignificantNeighborSampler sampler(c.n, c.m, c.k, 13);
+  utils::Rng rng(14);
+  Tensor e = Tensor::Normal(Shape({c.n, 5}), rng);
+  for (bool explore : {true, false}) {
+    auto index_set = sampler.Sample(e, explore);
+    EXPECT_EQ(static_cast<int64_t>(index_set.size()), c.m);
+    std::set<int64_t> unique(index_set.begin(), index_set.end());
+    EXPECT_EQ(static_cast<int64_t>(unique.size()), c.m);
+    EXPECT_GE(*std::min_element(index_set.begin(), index_set.end()), 0);
+    EXPECT_LT(*std::max_element(index_set.begin(), index_set.end()), c.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnsProperty,
+    ::testing::Values(SnsCase{10, 10, 1}, SnsCase{16, 4, 4},
+                      SnsCase{50, 25, 20}, SnsCase{128, 16, 12},
+                      SnsCase{7, 3, 2}));
+
+}  // namespace
+}  // namespace sagdfn::core

@@ -1,0 +1,261 @@
+// Differential tests: every tensor kernel is checked against a
+// deliberately naive per-element reference implementation on randomized
+// inputs. The production kernels use loop reordering, fast paths, and
+// odometer iteration; the references use nothing but index arithmetic, so
+// agreement across many random shapes is strong evidence of correctness.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace sagdfn::tensor {
+namespace {
+
+// -- References ------------------------------------------------------------
+
+float RefAt(const Tensor& t, const std::vector<int64_t>& index) {
+  const auto strides = t.shape().Strides();
+  int64_t offset = 0;
+  for (size_t d = 0; d < index.size(); ++d) offset += index[d] * strides[d];
+  return t[offset];
+}
+
+/// Broadcast lookup: maps an output index into a (possibly
+/// lower-rank / size-1-dim) input.
+float RefBroadcastAt(const Tensor& t, const std::vector<int64_t>& out_index,
+                     int64_t out_rank) {
+  const int64_t rank = t.ndim();
+  std::vector<int64_t> index(rank);
+  for (int64_t d = 0; d < rank; ++d) {
+    const int64_t out_d = out_rank - rank + d;
+    index[d] = t.dim(d) == 1 ? 0 : out_index[out_d];
+  }
+  return RefAt(t, index);
+}
+
+Tensor RefBinary(const Tensor& a, const Tensor& b,
+                 const std::function<float(float, float)>& op) {
+  Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t rank = out_shape.ndim();
+  std::vector<int64_t> index(rank, 0);
+  for (int64_t flat = 0; flat < out.size(); ++flat) {
+    int64_t rem = flat;
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      index[d] = rem % out_shape.dims()[d];
+      rem /= out_shape.dims()[d];
+    }
+    out[flat] = op(RefBroadcastAt(a, index, rank),
+                   RefBroadcastAt(b, index, rank));
+  }
+  return out;
+}
+
+Tensor RefMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out{Shape({m, n})};
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      out[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor RefSum(const Tensor& a, int64_t axis) {
+  const int64_t canon = a.shape().CanonicalAxis(axis);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims.erase(out_dims.begin() + canon);
+  Tensor out{Shape(out_dims)};
+  const int64_t rank = a.ndim();
+  std::vector<int64_t> index(rank, 0);
+  for (int64_t flat = 0; flat < a.size(); ++flat) {
+    int64_t rem = flat;
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      index[d] = rem % a.shape().dims()[d];
+      rem /= a.shape().dims()[d];
+    }
+    // Output flat index with `canon` removed.
+    int64_t out_flat = 0;
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d == canon) continue;
+      out_flat = out_flat * a.shape().dims()[d] + index[d];
+    }
+    // Note: the multiplier skips the reduced axis dimension.
+    out[out_flat] += a[flat];
+  }
+  return out;
+}
+
+// -- Shape generator --------------------------------------------------------
+
+std::vector<int64_t> RandomDims(utils::Rng& rng, int64_t rank) {
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) d = rng.UniformInt(1, 5);
+  return dims;
+}
+
+// -- Differential suites -----------------------------------------------------
+
+class BinaryOpDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BinaryOpDifferential, MatchesReferenceOnRandomBroadcasts) {
+  utils::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t rank = rng.UniformInt(1, 4);
+    std::vector<int64_t> dims = RandomDims(rng, rank);
+    // Derive a broadcastable partner: randomly drop leading dims and
+    // squash random dims to 1.
+    std::vector<int64_t> other = dims;
+    const int64_t drop = rng.UniformInt(rank + 1);
+    other.erase(other.begin(), other.begin() + drop);
+    for (auto& d : other) {
+      if (rng.Bernoulli(0.4)) d = 1;
+    }
+    if (other.empty()) other.push_back(1);
+
+    Tensor a = Tensor::Uniform(Shape(dims), rng, 0.5f, 2.0f);
+    Tensor b = Tensor::Uniform(Shape(other), rng, 0.5f, 2.0f);
+
+    EXPECT_TRUE(AllClose(Add(a, b),
+                         RefBinary(a, b, std::plus<float>()), 1e-5f, 1e-5f))
+        << "Add " << a.shape().ToString() << " + " << b.shape().ToString();
+    EXPECT_TRUE(AllClose(Sub(b, a),
+                         RefBinary(b, a, std::minus<float>()), 1e-5f,
+                         1e-5f));
+    EXPECT_TRUE(AllClose(Mul(a, b),
+                         RefBinary(a, b, std::multiplies<float>()), 1e-5f,
+                         1e-4f));
+    EXPECT_TRUE(AllClose(Div(a, b),
+                         RefBinary(a, b, std::divides<float>()), 1e-5f,
+                         1e-4f));
+    EXPECT_TRUE(AllClose(
+        Maximum(a, b),
+        RefBinary(a, b, [](float x, float y) { return std::max(x, y); })));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryOpDifferential,
+                         ::testing::Values(101, 102, 103, 104));
+
+class MatMulDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatMulDifferential, MatchesReference) {
+  utils::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t m = rng.UniformInt(1, 9);
+    const int64_t k = rng.UniformInt(1, 9);
+    const int64_t n = rng.UniformInt(1, 9);
+    Tensor a = Tensor::Normal(Shape({m, k}), rng);
+    Tensor b = Tensor::Normal(Shape({k, n}), rng);
+    EXPECT_TRUE(AllClose(MatMul(a, b), RefMatMul(a, b), 1e-4f, 1e-4f))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST_P(MatMulDifferential, SparseLhsFastPathCorrect) {
+  // The production kernel skips zero entries of A; verify with mostly-zero
+  // inputs.
+  utils::Rng rng(GetParam() + 50);
+  Tensor a = Tensor::Zeros(Shape({6, 7}));
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (rng.Bernoulli(0.2)) a[i] = static_cast<float>(rng.Normal());
+  }
+  Tensor b = Tensor::Normal(Shape({7, 5}), rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), RefMatMul(a, b), 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulDifferential,
+                         ::testing::Values(201, 202, 203));
+
+class ReductionDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionDifferential, SumMatchesReferenceOnEveryAxis) {
+  utils::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t rank = rng.UniformInt(1, 4);
+    Tensor a = Tensor::Normal(Shape(RandomDims(rng, rank)), rng);
+    for (int64_t axis = 0; axis < rank; ++axis) {
+      EXPECT_TRUE(AllClose(Sum(a, axis), RefSum(a, axis), 1e-4f, 1e-4f))
+          << a.shape().ToString() << " axis " << axis;
+      // keepdim variant reshapes to the same data.
+      Tensor kept = Sum(a, axis, true);
+      EXPECT_TRUE(AllClose(
+          kept.Reshape(RefSum(a, axis).shape().dims()), RefSum(a, axis),
+          1e-4f, 1e-4f));
+    }
+  }
+}
+
+TEST_P(ReductionDifferential, MeanIsSumOverCount) {
+  utils::Rng rng(GetParam() + 10);
+  Tensor a = Tensor::Normal(Shape({3, 5, 2}), rng);
+  for (int64_t axis = 0; axis < 3; ++axis) {
+    Tensor expected =
+        MulScalar(Sum(a, axis), 1.0f / static_cast<float>(a.dim(axis)));
+    EXPECT_TRUE(AllClose(Mean(a, axis), expected, 1e-5f, 1e-5f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionDifferential,
+                         ::testing::Values(301, 302, 303));
+
+TEST(IndexingDifferential, GatherScatterRoundTrip) {
+  utils::Rng rng(401);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = rng.UniformInt(3, 9);
+    const int64_t c = rng.UniformInt(1, 4);
+    Tensor a = Tensor::Normal(Shape({n, c}), rng);
+    // Gather a permutation, scatter it back: identity.
+    std::vector<int64_t> perm = rng.Permutation(n);
+    Tensor gathered = IndexSelect(a, 0, perm);
+    Tensor back = Tensor::Zeros(a.shape());
+    IndexAddInto(back, 0, perm, gathered);
+    EXPECT_TRUE(AllClose(back, a));
+  }
+}
+
+TEST(IndexingDifferential, ConcatSliceInverse) {
+  utils::Rng rng(402);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t rank = rng.UniformInt(1, 4);
+    std::vector<int64_t> dims = RandomDims(rng, rank);
+    Tensor a = Tensor::Normal(Shape(dims), rng);
+    const int64_t axis = rng.UniformInt(rank);
+    const int64_t cut = rng.UniformInt(dims[axis] + 1);
+    Tensor left = Slice(a, axis, 0, cut);
+    Tensor right = Slice(a, axis, cut, dims[axis]);
+    if (cut == 0) {
+      EXPECT_TRUE(AllClose(right, a));
+    } else if (cut == dims[axis]) {
+      EXPECT_TRUE(AllClose(left, a));
+    } else {
+      EXPECT_TRUE(AllClose(Concat({left, right}, axis), a));
+    }
+  }
+}
+
+TEST(TransposeDifferential, MatchesElementwiseDefinition) {
+  utils::Rng rng(403);
+  Tensor a = Tensor::Normal(Shape({3, 4, 5}), rng);
+  Tensor t = Transpose(a, 0, 2);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      for (int64_t k = 0; k < 5; ++k) {
+        EXPECT_FLOAT_EQ(t.At({k, j, i}), a.At({i, j, k}));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sagdfn::tensor

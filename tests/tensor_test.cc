@@ -1,0 +1,112 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "utils/rng.h"
+
+namespace sagdfn::tensor {
+namespace {
+
+TEST(TensorTest, ZerosAndOnes) {
+  Tensor z = Tensor::Zeros(Shape({2, 3}));
+  Tensor o = Tensor::Ones(Shape({2, 3}));
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(z[i], 0.0f);
+    EXPECT_EQ(o[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor f = Tensor::Full(Shape({4}), 2.5f);
+  EXPECT_EQ(f[3], 2.5f);
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.Item(), 7.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, Shape({2, 3}));
+  EXPECT_EQ(t.At({0, 0}), 1.0f);
+  EXPECT_EQ(t.At({1, 2}), 6.0f);
+  t.At({1, 0}) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(TensorTest, ArangeAndEye) {
+  Tensor a = Tensor::Arange(5);
+  EXPECT_EQ(a[4], 4.0f);
+  Tensor e = Tensor::Eye(3);
+  EXPECT_EQ(e.At({1, 1}), 1.0f);
+  EXPECT_EQ(e.At({1, 2}), 0.0f);
+}
+
+TEST(TensorTest, SharedStorageSemantics) {
+  Tensor a = Tensor::Ones(Shape({4}));
+  Tensor b = a;  // handle copy
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 5.0f);
+  EXPECT_TRUE(a.SharesStorageWith(b));
+
+  Tensor c = a.Clone();
+  c[1] = 9.0f;
+  EXPECT_EQ(a[1], 1.0f);
+  EXPECT_FALSE(a.SharesStorageWith(c));
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::Arange(6);
+  Tensor b = a.Reshape({2, 3});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(b.At({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, ReshapeInferredDim) {
+  Tensor a = Tensor::Arange(12);
+  Tensor b = a.Reshape({3, -1});
+  EXPECT_EQ(b.dim(1), 4);
+  Tensor c = a.Reshape({-1, 6});
+  EXPECT_EQ(c.dim(0), 2);
+}
+
+TEST(TensorTest, CopyFrom) {
+  Tensor a = Tensor::Zeros(Shape({3}));
+  Tensor b = Tensor::FromVector({1, 2, 3}, Shape({3}));
+  a.CopyFrom(b);
+  EXPECT_EQ(a[2], 3.0f);
+  b[0] = 10.0f;  // CopyFrom is deep
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, UniformBounds) {
+  utils::Rng rng(1);
+  Tensor u = Tensor::Uniform(Shape({1000}), rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < u.size(); ++i) {
+    EXPECT_GE(u[i], -2.0f);
+    EXPECT_LT(u[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, NormalMoments) {
+  utils::Rng rng(2);
+  Tensor g = Tensor::Normal(Shape({20000}), rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int64_t i = 0; i < g.size(); ++i) {
+    sum += g[i];
+    sq += g[i] * g[i];
+  }
+  const double mean = sum / g.size();
+  const double var = sq / g.size() - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Arange(100);
+  std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("Tensor[100]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sagdfn::tensor

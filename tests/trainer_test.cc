@@ -1,0 +1,144 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sagdfn.h"
+#include "data/synthetic.h"
+#include "data/window_dataset.h"
+#include "tensor/tensor_ops.h"
+
+namespace sagdfn::core {
+namespace {
+
+data::ForecastDataset TinyDataset() {
+  data::TrafficOptions options;
+  options.num_nodes = 12;
+  options.num_days = 4;
+  options.steps_per_day = 48;
+  options.seed = 3;
+  return data::ForecastDataset(data::GenerateTraffic(options),
+                               data::WindowSpec{6, 3});
+}
+
+SagdfnConfig TinyModelConfig(const data::ForecastDataset& dataset) {
+  SagdfnConfig config;
+  config.num_nodes = dataset.num_nodes();
+  config.embedding_dim = 4;
+  config.m = 6;
+  config.k = 4;
+  config.hidden_dim = 8;
+  config.heads = 2;
+  config.ffn_hidden = 4;
+  config.diffusion_steps = 2;
+  config.history = dataset.spec().history;
+  config.horizon = dataset.spec().horizon;
+  config.convergence_iters = 4;
+  return config;
+}
+
+TrainOptions QuickOptions() {
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 8;
+  options.learning_rate = 0.02;
+  options.max_train_batches_per_epoch = 6;
+  options.max_eval_batches = 3;
+  return options;
+}
+
+TEST(TrainerTest, TrainingReducesLoss) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnModel model(TinyModelConfig(dataset));
+  TrainOptions options = QuickOptions();
+  options.epochs = 4;
+  options.max_train_batches_per_epoch = 10;
+  Trainer trainer(&model, &dataset, options);
+  TrainResult result = trainer.Train();
+  ASSERT_EQ(result.epochs_run, 4);
+  EXPECT_LT(result.epoch_train_loss.back(),
+            result.epoch_train_loss.front());
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(TrainerTest, PredictShapesAndFiniteness) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnModel model(TinyModelConfig(dataset));
+  Trainer trainer(&model, &dataset, QuickOptions());
+  trainer.Train();
+  tensor::Tensor pred = trainer.Predict(data::Split::kTest);
+  tensor::Tensor truth = trainer.Truth(data::Split::kTest);
+  EXPECT_EQ(pred.shape(), truth.shape());
+  EXPECT_EQ(pred.ndim(), 3);
+  EXPECT_EQ(pred.dim(1), 3);
+  EXPECT_EQ(pred.dim(2), 12);
+  EXPECT_FALSE(tensor::HasNonFinite(pred));
+}
+
+TEST(TrainerTest, EvalCapRespected) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnModel model(TinyModelConfig(dataset));
+  TrainOptions options = QuickOptions();
+  options.max_eval_batches = 2;
+  options.batch_size = 4;
+  Trainer trainer(&model, &dataset, options);
+  tensor::Tensor pred = trainer.Predict(data::Split::kValidation);
+  EXPECT_EQ(pred.dim(0), 8);  // 2 batches * 4
+}
+
+TEST(TrainerTest, EvaluateSplitHorizons) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnModel model(TinyModelConfig(dataset));
+  Trainer trainer(&model, &dataset, QuickOptions());
+  trainer.Train();
+  auto scores = trainer.EvaluateSplit(data::Split::kTest, {1, 3});
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0].mae, 0.0);
+  // Beats an absurd bound (speeds are in [3, 80]).
+  EXPECT_LT(scores[0].mae, 40.0);
+}
+
+TEST(TrainerTest, BetterThanUntrainedModel) {
+  data::ForecastDataset dataset = TinyDataset();
+
+  SagdfnConfig config = TinyModelConfig(dataset);
+  SagdfnModel untrained(config);
+  Trainer eval_only(&untrained, &dataset, QuickOptions());
+  const double untrained_mae = metrics::MaskedMae(
+      eval_only.Predict(data::Split::kTest),
+      eval_only.Truth(data::Split::kTest));
+
+  SagdfnModel trained(config);
+  TrainOptions options = QuickOptions();
+  options.epochs = 5;
+  options.max_train_batches_per_epoch = 12;
+  Trainer trainer(&trained, &dataset, options);
+  trainer.Train();
+  const double trained_mae =
+      metrics::MaskedMae(trainer.Predict(data::Split::kTest),
+                         trainer.Truth(data::Split::kTest));
+  EXPECT_LT(trained_mae, untrained_mae);
+}
+
+TEST(TrainerTest, EarlyStoppingHonorsPatience) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnModel model(TinyModelConfig(dataset));
+  TrainOptions options = QuickOptions();
+  options.epochs = 50;
+  options.patience = 1;
+  options.max_train_batches_per_epoch = 1;
+  options.learning_rate = 0.0;  // no progress -> val plateaus immediately
+  Trainer trainer(&model, &dataset, options);
+  TrainResult result = trainer.Train();
+  EXPECT_LT(result.epochs_run, 50);
+}
+
+TEST(TrainerTest, HorizonMismatchDies) {
+  data::ForecastDataset dataset = TinyDataset();
+  SagdfnConfig config = TinyModelConfig(dataset);
+  config.horizon = 5;  // dataset horizon is 3
+  SagdfnModel model(config);
+  EXPECT_DEATH(Trainer(&model, &dataset, QuickOptions()), "horizon");
+}
+
+}  // namespace
+}  // namespace sagdfn::core

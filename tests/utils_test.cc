@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "utils/cli.h"
+#include "utils/memory_info.h"
+#include "utils/rng.h"
+#include "utils/status.h"
+#include "utils/string_util.h"
+#include "utils/table_printer.h"
+
+namespace sagdfn::utils {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differ;
+  }
+  EXPECT_GT(differ, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedish) {
+  Rng rng(4);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, PermutationCoversAll) {
+  Rng rng(6);
+  auto perm = rng.Permutation(50);
+  std::set<int64_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> v(42);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::NotFound("missing"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringUtilTest, SplitAndTrimAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, Parsing) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-12", &i));
+  EXPECT_EQ(i, -12);
+  EXPECT_FALSE(ParseInt64("12.5", &i));
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatBytes(1536.0), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(2.0 * (1ull << 30)), "2.00 GiB");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Model", "MAE"});
+  table.AddRow({"SAGDFN", "2.56"});
+  table.AddRow({"A", "10.0"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Model  | MAE  |"), std::string::npos);
+  EXPECT_NE(out.find("| SAGDFN | 2.56 |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CliTest, ParsesFlagsAndPositionals) {
+  // Note: a bare flag followed by a non-flag token consumes it as the
+  // value (`--nodes 200`), so positionals must precede flags or follow a
+  // `--name=value` form.
+  const char* argv[] = {"prog",        "dataset1", "--alpha=1.5",
+                        "--nodes",     "200",      "--quick"};
+  CommandLine cli(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_TRUE(cli.GetBool("quick", false));
+  EXPECT_EQ(cli.GetInt("nodes", 0), 200);
+  EXPECT_EQ(cli.GetInt("missing", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "dataset1");
+}
+
+TEST(CliTest, EqualsFormAndBooleanValues) {
+  const char* argv[] = {"prog", "--flag=false", "--other=true"};
+  CommandLine cli(3, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.GetBool("flag", true));
+  EXPECT_TRUE(cli.GetBool("other", false));
+  EXPECT_TRUE(cli.Has("flag"));
+  EXPECT_FALSE(cli.Has("nothere"));
+}
+
+TEST(MemoryInfoTest, ReportsPlausibleRss) {
+  const int64_t rss = CurrentRssBytes();
+  EXPECT_GT(rss, 1 << 20);  // more than 1 MiB
+  EXPECT_GE(PeakRssBytes(), rss);
+}
+
+}  // namespace
+}  // namespace sagdfn::utils
