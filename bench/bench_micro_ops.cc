@@ -1,16 +1,43 @@
 // Google-benchmark micro-benchmarks for the kernels behind the paper's
 // complexity claims: matmul, entmax, SNS sampling, slim vs dense graph
-// diffusion, and a full SAGDFN forward step.
+// diffusion, and a full SAGDFN forward step — plus thread-count sweeps
+// over the parallel backend (utils::ParallelFor).
+//
+// Results are written to BENCH_micro_ops.json (benchmark's JSON format)
+// by default so the perf trajectory is machine-readable across PRs; pass
+// your own --benchmark_out= to override.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/entmax.h"
 #include "core/sagdfn.h"
 #include "core/sns.h"
 #include "tensor/tensor_ops.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 
 namespace sagdfn {
 namespace {
+
+/// Applies the benchmark's thread-count argument (0 means "default":
+/// SAGDFN_NUM_THREADS env var or hardware concurrency) and restores the prior
+/// pool size on destruction (so interleaved benchmarks stay independent).
+class BenchThreadScope {
+ public:
+  explicit BenchThreadScope(benchmark::State& state, int64_t threads)
+      : previous_(utils::GetNumThreads()) {
+    utils::SetNumThreads(threads);
+    state.counters["threads"] =
+        static_cast<double>(utils::GetNumThreads());
+  }
+  ~BenchThreadScope() { utils::SetNumThreads(previous_); }
+
+ private:
+  int64_t previous_;
+};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -23,6 +50,74 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread scaling of the blocked parallel MatMul. The 2048 point is the
+// acceptance shape for the parallel backend (expect >= 3x at 4 threads on
+// hardware with >= 4 cores; on fewer cores the sweep simply documents the
+// machine's ceiling — `threads` reports the actual pool size).
+void BM_MatMulThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchThreadScope scope(state, state.range(1));
+  utils::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Normal(tensor::Shape({n, n}), rng);
+  tensor::Tensor b = tensor::Tensor::Normal(tensor::Shape({n, n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 0})
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 0})
+    ->Args({2048, 1})->Args({2048, 2})->Args({2048, 4})->Args({2048, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Small-batch batched matmul: parallelism must come from batch x rows,
+// not batch alone (batch = 4 would cap speedup at 4).
+void BM_BatchedMatMulThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchThreadScope scope(state, state.range(1));
+  utils::Rng rng(2);
+  tensor::Tensor a =
+      tensor::Tensor::Normal(tensor::Shape({4, n, 64}), rng);
+  tensor::Tensor b = tensor::Tensor::Normal(tensor::Shape({64, 64}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::BatchedMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * 64 * 64);
+}
+BENCHMARK(BM_BatchedMatMulThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({512, 1})->Args({512, 2})->Args({512, 4})->Args({512, 0})
+    ->Args({2048, 1})->Args({2048, 2})->Args({2048, 4})->Args({2048, 0})
+    ->UseRealTime();
+
+// The fast-gconv hot path (slim diffusion gather + product + add) under
+// the thread sweep, at the paper's large-graph scale.
+void BM_SlimDiffusionThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchThreadScope scope(state, state.range(1));
+  const int64_t m = 20;
+  const int64_t channels = 16;
+  utils::Rng rng(3);
+  tensor::Tensor a = tensor::Tensor::Uniform(tensor::Shape({n, m}), rng);
+  tensor::Tensor x =
+      tensor::Tensor::Normal(tensor::Shape({4, n, channels}), rng);
+  std::vector<int64_t> index_set(m);
+  for (int64_t i = 0; i < m; ++i) index_set[i] = i;
+  for (auto _ : state) {
+    tensor::Tensor gathered = tensor::IndexSelect(x, 1, index_set);
+    benchmark::DoNotOptimize(
+        tensor::Add(tensor::BatchedMatMul(a, gathered), x));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * m * channels);
+}
+BENCHMARK(BM_SlimDiffusionThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({2048, 1})->Args({2048, 2})->Args({2048, 4})->Args({2048, 0})
+    ->UseRealTime();
 
 void BM_EntmaxForward(benchmark::State& state) {
   const int64_t rows = state.range(0);
@@ -130,7 +225,65 @@ void BM_SagdfnForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SagdfnForward)->Arg(64)->Arg(256);
 
+// METR-LA-sized (N = 207) full SAGDFN forward step under the thread
+// sweep: the acceptance shape for end-to-end model parallelism.
+void BM_SagdfnForwardThreads(benchmark::State& state) {
+  BenchThreadScope scope(state, state.range(0));
+  const int64_t n = 207;
+  core::SagdfnConfig config;
+  config.num_nodes = n;
+  config.embedding_dim = 16;
+  config.m = 20;
+  config.k = 16;
+  config.hidden_dim = 32;
+  config.heads = 4;
+  config.ffn_hidden = 16;
+  config.diffusion_steps = 2;
+  config.history = 12;
+  config.horizon = 12;
+  core::SagdfnModel model(config);
+  utils::Rng rng(9);
+  tensor::Tensor x =
+      tensor::Tensor::Normal(tensor::Shape({8, 12, n, 2}), rng);
+  tensor::Tensor tod =
+      tensor::Tensor::Uniform(tensor::Shape({8, 12}), rng);
+  autograd::NoGradGuard guard;
+  model.SetTraining(false);
+  model.Forward(x, tod, 0);  // warm up / fix the index set
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x, tod, 0));
+  }
+}
+BENCHMARK(BM_SagdfnForwardThreads)
+    ->ArgNames({"threads"})
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace sagdfn
 
-BENCHMARK_MAIN();
+// Custom main: defaults --benchmark_out to BENCH_micro_ops.json (JSON
+// format) so every run leaves a machine-readable record; explicit
+// --benchmark_out flags take precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace sagdfn::autograd {
 
@@ -121,6 +122,12 @@ Variable MulScalar(const Variable& a, float s) {
                 });
 }
 
+Variable RSubScalar(const Variable& a, float s) {
+  auto na = a.node();
+  return MakeOp("RSubScalar", tensor::RSubScalar(a.value(), s), {a},
+                [na](const Tensor& g) { Accumulate(na, tensor::Neg(g)); });
+}
+
 Variable MatMul(const Variable& a, const Variable& b) {
   auto na = a.node();
   auto nb = b.node();
@@ -219,13 +226,18 @@ Variable Sigmoid(const Variable& a) {
 Variable Relu(const Variable& a) {
   auto na = a.node();
   return MakeOp("Relu", tensor::Relu(a.value()), {a}, [na](const Tensor& g) {
+    // Tape replay is sequential; only the elementwise mask inside this
+    // node is parallel (disjoint writes, so thread-count independent).
     Tensor masked(g.shape());
     const float* pg = g.data();
     const float* pa = na->value.data();
     float* pm = masked.data();
-    for (int64_t i = 0; i < g.size(); ++i) {
-      pm[i] = pa[i] > 0.0f ? pg[i] : 0.0f;
-    }
+    utils::ParallelFor(0, g.size(), utils::kElementwiseGrain,
+                       [&](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           pm[i] = pa[i] > 0.0f ? pg[i] : 0.0f;
+                         }
+                       });
     Accumulate(na, masked);
   });
 }

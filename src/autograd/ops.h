@@ -22,6 +22,8 @@ Variable Div(const Variable& a, const Variable& b);
 Variable Neg(const Variable& a);
 Variable AddScalar(const Variable& a, float s);
 Variable MulScalar(const Variable& a, float s);
+/// s - a per element (no constant tensor materialized).
+Variable RSubScalar(const Variable& a, float s);
 
 /// 2-D matrix product.
 Variable MatMul(const Variable& a, const Variable& b);

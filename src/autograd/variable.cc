@@ -108,4 +108,10 @@ NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
 
 NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
 
+GradModeGuard::GradModeGuard(bool enabled) : previous_(t_grad_enabled) {
+  t_grad_enabled = enabled;
+}
+
+GradModeGuard::~GradModeGuard() { t_grad_enabled = previous_; }
+
 }  // namespace sagdfn::autograd

@@ -99,6 +99,21 @@ class NoGradGuard {
   bool previous_;
 };
 
+/// RAII guard that sets tape recording to an explicit value. Needed when
+/// dispatching forward work onto pool threads: GradEnabled() is
+/// thread-local, so workers must adopt the calling thread's mode instead
+/// of their own default.
+class GradModeGuard {
+ public:
+  explicit GradModeGuard(bool enabled);
+  ~GradModeGuard();
+  GradModeGuard(const GradModeGuard&) = delete;
+  GradModeGuard& operator=(const GradModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 }  // namespace sagdfn::autograd
 
 #endif  // SAGDFN_AUTOGRAD_VARIABLE_H_

@@ -23,30 +23,41 @@ FastGraphConv::FastGraphConv(int64_t in_dim, int64_t out_dim,
       "bias", ag::Variable(tensor::Tensor::Zeros(tensor::Shape({out_dim}))));
 }
 
+ag::Variable FastGraphConv::InverseDegree(const ag::Variable& a_s) {
+  return ag::Div(
+      ag::Variable(tensor::Tensor::Ones(tensor::Shape({a_s.dim(0), 1}))),
+      ag::AddScalar(ag::Sum(ag::Abs(a_s), 1, /*keepdim=*/true), 1.0f));
+}
+
 ag::Variable FastGraphConv::Forward(const ag::Variable& a_s,
                                     const std::vector<int64_t>& index_set,
-                                    const ag::Variable& x) const {
+                                    const ag::Variable& x,
+                                    const ag::Variable* inv_deg) const {
   SAGDFN_CHECK_EQ(x.shape().ndim(), 3);
   SAGDFN_CHECK_EQ(x.dim(2), in_dim_);
   const int64_t n = x.dim(1);
   SAGDFN_CHECK_EQ(a_s.dim(0), n);
   SAGDFN_CHECK_EQ(a_s.dim(1), static_cast<int64_t>(index_set.size()));
 
-  // (D + I)^{-1} with D_ii = sum_j |A_s[i, j]|: [N, 1], broadcasts over
-  // batch and channels.
-  ag::Variable inv_deg = ag::Div(
-      ag::Variable(tensor::Tensor::Ones(tensor::Shape({n, 1}))),
-      ag::AddScalar(ag::Sum(ag::Abs(a_s), 1, /*keepdim=*/true), 1.0f));
+  ag::Variable local_inv_deg;
+  if (inv_deg == nullptr) {
+    local_inv_deg = InverseDegree(a_s);
+    inv_deg = &local_inv_deg;
+  } else {
+    SAGDFN_CHECK_EQ(inv_deg->dim(0), n);
+  }
 
   // Diffusion series: term_0 = X; term_{j+1} = (D+I)^{-1}(A_s term_j[I] +
-  // term_j). Each term contributes through its own W_j.
+  // term_j). Each term contributes through its own W_j. The slim product
+  // A_s term_j[I] and the elementwise normalization are row-parallel
+  // inside the tensor kernels.
   ag::Variable term = x;
   ag::Variable out = ag::BatchedMatMul(term, weights_[0]);
   for (int64_t j = 1; j < diffusion_steps_; ++j) {
     ag::Variable gathered = ag::IndexSelect(term, 1, index_set);
     ag::Variable mixed =
         ag::Add(ag::BatchedMatMul(a_s, gathered), term);  // [B, N, C]
-    term = ag::Mul(mixed, inv_deg);
+    term = ag::Mul(mixed, *inv_deg);
     out = ag::Add(out, ag::BatchedMatMul(term, weights_[j]));
   }
   return ag::Add(out, bias_);
@@ -66,22 +77,32 @@ GConvGruCell::GConvGruCell(int64_t in_dim, int64_t hidden_dim,
 ag::Variable GConvGruCell::Forward(const ag::Variable& a_s,
                                    const std::vector<int64_t>& index_set,
                                    const ag::Variable& x,
-                                   const ag::Variable& h) const {
+                                   const ag::Variable& h,
+                                   const ag::Variable* inv_deg) const {
   SAGDFN_CHECK_EQ(x.dim(2), in_dim_);
   SAGDFN_CHECK_EQ(h.dim(2), hidden_dim_);
   const int64_t hd = hidden_dim_;
 
+  // inv_deg depends only on a_s: compute it once and share it between the
+  // gate and candidate convolutions (callers looping over timesteps pass
+  // it in, amortizing the reduction across the whole sequence).
+  ag::Variable local_inv_deg;
+  if (inv_deg == nullptr) {
+    local_inv_deg = FastGraphConv::InverseDegree(a_s);
+    inv_deg = &local_inv_deg;
+  }
+
   ag::Variable xh = ag::Concat({x, h}, 2);
-  ag::Variable gates = gate_conv_->Forward(a_s, index_set, xh);
+  ag::Variable gates = gate_conv_->Forward(a_s, index_set, xh, inv_deg);
   ag::Variable r = ag::Sigmoid(ag::Slice(gates, 2, 0, hd));
   ag::Variable z = ag::Sigmoid(ag::Slice(gates, 2, hd, 2 * hd));
 
   ag::Variable x_rh = ag::Concat({x, ag::Mul(r, h)}, 2);
   ag::Variable candidate =
-      ag::Tanh(candidate_conv_->Forward(a_s, index_set, x_rh));
+      ag::Tanh(candidate_conv_->Forward(a_s, index_set, x_rh, inv_deg));
 
-  ag::Variable one_minus_z =
-      ag::Sub(ag::Variable(tensor::Tensor::Ones(z.shape())), z);
+  // 1 - z as a scalar op: no [B, N, H] ones tensor per timestep.
+  ag::Variable one_minus_z = ag::RSubScalar(z, 1.0f);
   return ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, candidate));
 }
 

@@ -28,9 +28,20 @@ class FastGraphConv : public nn::Module {
 
   /// `a_s`: [N, M] slim adjacency; `index_set`: the M column node ids;
   /// `x`: [B, N, in_dim]. Returns [B, N, out_dim].
+  ///
+  /// `inv_deg` optionally supplies the precomputed InverseDegree(a_s)
+  /// column; it depends only on `a_s`, so callers that apply several
+  /// convolutions (or timesteps) against one adjacency should compute it
+  /// once and pass it through instead of paying the reduction per call.
   autograd::Variable Forward(const autograd::Variable& a_s,
                              const std::vector<int64_t>& index_set,
-                             const autograd::Variable& x) const;
+                             const autograd::Variable& x,
+                             const autograd::Variable* inv_deg =
+                                 nullptr) const;
+
+  /// (D + I)^{-1} with D_ii = sum_j |A_s[i, j]|: [N, 1], broadcasts over
+  /// batch and channels. Differentiable through `a_s`.
+  static autograd::Variable InverseDegree(const autograd::Variable& a_s);
 
   int64_t in_dim() const { return in_dim_; }
   int64_t out_dim() const { return out_dim_; }
@@ -58,10 +69,15 @@ class GConvGruCell : public nn::Module {
   GConvGruCell(int64_t in_dim, int64_t hidden_dim, int64_t diffusion_steps,
                utils::Rng& rng);
 
+  /// `inv_deg` optionally supplies FastGraphConv::InverseDegree(a_s),
+  /// shared by the gate and candidate convolutions; when null it is
+  /// computed once per call (still amortized across the two convs).
   autograd::Variable Forward(const autograd::Variable& a_s,
                              const std::vector<int64_t>& index_set,
                              const autograd::Variable& x,
-                             const autograd::Variable& h) const;
+                             const autograd::Variable& h,
+                             const autograd::Variable* inv_deg =
+                                 nullptr) const;
 
   /// Zero hidden state [B, N, hidden].
   autograd::Variable InitialState(int64_t batch, int64_t num_nodes) const;

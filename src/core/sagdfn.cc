@@ -139,6 +139,9 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
 
   MaybeResample(iteration);
   ag::Variable a_s = Adjacency();
+  // (D + I)^{-1} depends only on a_s: compute once for the whole
+  // encoder-decoder rollout instead of per conv per timestep.
+  ag::Variable inv_deg = FastGraphConv::InverseDegree(a_s);
 
   // Encoder over the h history steps; each layer consumes the previous
   // layer's state sequence.
@@ -153,7 +156,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
     ag::Variable layer_input = step;
     for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
       hidden[layer] = cells_[layer]->Forward(a_s, index_set_, layer_input,
-                                             hidden[layer]);
+                                             hidden[layer], &inv_deg);
       layer_input = hidden[layer];
     }
   }
@@ -172,7 +175,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
     ag::Variable layer_input = dec_input;
     for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
       hidden[layer] = cells_[layer]->Forward(a_s, index_set_, layer_input,
-                                             hidden[layer]);
+                                             hidden[layer], &inv_deg);
       layer_input = hidden[layer];
     }
     ag::Variable pred = output_proj_->Forward(ag::Reshape(

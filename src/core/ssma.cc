@@ -2,6 +2,7 @@
 
 #include "nn/init.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace sagdfn::core {
 
@@ -45,17 +46,25 @@ ag::Variable SparseSpatialAttention::Forward(
       tensor::Shape({n, m, d}));
   ag::Variable e_bar = ag::Concat({e_rows, e_neighbors}, 2);
 
-  // Per-head scores, sparsified along the neighbor (M) axis.
-  std::vector<ag::Variable> head_outputs;
-  head_outputs.reserve(head_ffns_.size());
-  for (const auto& ffn : head_ffns_) {
-    // Mlp consumes rank-3 input as [N, M, 2d] -> [N, M, 2].
-    ag::Variable y = ffn->Forward(e_bar);
-    ag::Variable z = config_.use_entmax
-                         ? Entmax(y, config_.alpha, /*axis=*/1)
-                         : ag::Softmax(y, /*axis=*/1);
-    head_outputs.push_back(z);
-  }
+  // Per-head scores, sparsified along the neighbor (M) axis. Heads are
+  // independent until the concat, so they run in parallel; tensor kernels
+  // inside a head inline (nested regions run sequentially). Each head
+  // writes only its own slot and tape recording happens on the worker, so
+  // the recorded graph is identical to the sequential one. GradModeGuard
+  // propagates the calling thread's (thread-local) grad mode.
+  const int64_t num_heads = static_cast<int64_t>(head_ffns_.size());
+  std::vector<ag::Variable> head_outputs(num_heads);
+  const bool grad_mode = ag::GradEnabled();
+  utils::ParallelFor(0, num_heads, 1, [&](int64_t p0, int64_t p1) {
+    ag::GradModeGuard guard(grad_mode);
+    for (int64_t p = p0; p < p1; ++p) {
+      // Mlp consumes rank-3 input as [N, M, 2d] -> [N, M, 2].
+      ag::Variable y = head_ffns_[p]->Forward(e_bar);
+      head_outputs[p] = config_.use_entmax
+                            ? Entmax(y, config_.alpha, /*axis=*/1)
+                            : ag::Softmax(y, /*axis=*/1);
+    }
+  });
   ag::Variable z_all = ag::Concat(head_outputs, 2);  // [N, M, 2P]
 
   // Linear head combination: [N, M, 2P] @ [2P, 1] -> [N, M].

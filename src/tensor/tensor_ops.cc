@@ -6,12 +6,28 @@
 #include <limits>
 
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace sagdfn::tensor {
 namespace {
 
+using utils::kElementwiseGrain;
+using utils::kReduceBlock;
+using utils::ParallelFor;
+using utils::ParallelFor2D;
+
+// Minimum multiply-accumulate count per matmul task; rows are grouped so
+// each task carries at least this much work before the pool is engaged.
+constexpr int64_t kMatMulGrainFlops = 1 << 16;
+
+// Cache tile over the shared (k) dimension: one tile of B rows
+// (kKTile x n floats) stays resident while a task's rows stream past it.
+constexpr int64_t kKTile = 256;
+
 // Applies `op` elementwise over broadcast inputs. Fast path for identical
 // shapes; otherwise walks a multi-index with per-input broadcast strides.
+// All paths parallelize over contiguous output chunks (each element is
+// written by exactly one task, so results are thread-count independent).
 template <typename Op>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
   if (a.shape() == b.shape()) {
@@ -19,8 +35,10 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    ParallelFor(0, a.size(), kElementwiseGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], pb[i]);
+                });
     return out;
   }
   // Scalar fast paths apply only when the scalar operand's rank does not
@@ -31,8 +49,10 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     const float* pa = a.data();
     const float s = b.data()[0];
     float* po = out.data();
-    const int64_t n = a.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], s);
+    ParallelFor(0, a.size(), kElementwiseGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], s);
+                });
     return out;
   }
   if (a.size() == 1 && a.ndim() <= b.ndim()) {
@@ -40,8 +60,10 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     const float s = a.data()[0];
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = b.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = op(s, pb[i]);
+    ParallelFor(0, b.size(), kElementwiseGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) po[i] = op(s, pb[i]);
+                });
     return out;
   }
 
@@ -62,26 +84,37 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
   const std::vector<int64_t> sa = aligned_strides(a.shape());
   const std::vector<int64_t> sb = aligned_strides(b.shape());
 
-  std::vector<int64_t> index(rank, 0);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
   const int64_t total = out.size();
-  int64_t offset_a = 0;
-  int64_t offset_b = 0;
-  for (int64_t flat = 0; flat < total; ++flat) {
-    po[flat] = op(pa[offset_a], pb[offset_b]);
-    // Increment the multi-index (odometer) and the two offsets.
+  // Each chunk seeds its multi-index / input offsets from its first flat
+  // index, then advances odometer-style.
+  ParallelFor(0, total, kElementwiseGrain, [&](int64_t flat0, int64_t flat1) {
+    std::vector<int64_t> index(rank, 0);
+    int64_t offset_a = 0;
+    int64_t offset_b = 0;
+    int64_t rem = flat0;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++index[d];
-      offset_a += sa[d];
-      offset_b += sb[d];
-      if (index[d] < out_shape.dims()[d]) break;
-      offset_a -= sa[d] * index[d];
-      offset_b -= sb[d] * index[d];
-      index[d] = 0;
+      index[d] = rem % out_shape.dims()[d];
+      rem /= out_shape.dims()[d];
+      offset_a += index[d] * sa[d];
+      offset_b += index[d] * sb[d];
     }
-  }
+    for (int64_t flat = flat0; flat < flat1; ++flat) {
+      po[flat] = op(pa[offset_a], pb[offset_b]);
+      // Increment the multi-index (odometer) and the two offsets.
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        offset_a += sa[d];
+        offset_b += sb[d];
+        if (index[d] < out_shape.dims()[d]) break;
+        offset_a -= sa[d] * index[d];
+        offset_b -= sb[d] * index[d];
+        index[d] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -90,8 +123,9 @@ Tensor UnaryOp(const Tensor& a, Op op) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i]);
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i]);
+  });
   return out;
 }
 
@@ -122,6 +156,41 @@ Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdim) {
     dims.erase(dims.begin() + axis);
   }
   return Shape(std::move(dims));
+}
+
+// Grain for axis reductions: each (outer-range x inner-range) tile owns
+// its output elements outright; size tiles so a task reads at least
+// ~kReduceBlock input elements.
+int64_t ReduceOuterGrain(const AxisSplit& s) {
+  const int64_t per_outer = s.axis_size * s.inner;
+  return std::max<int64_t>(1, kReduceBlock / std::max<int64_t>(1, per_outer));
+}
+
+// Single-row matmul macro-kernel: out_row += a_row * B over kk in
+// [k0, k1), streaming B rows. Zero entries of A are skipped (the slim
+// adjacency and dropout masks are sparse in practice).
+inline void MatMulRowTile(const float* a_row, const float* pb, float* out_row,
+                          int64_t k0, int64_t k1, int64_t n) {
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    const float av = a_row[kk];
+    if (av == 0.0f) continue;
+    const float* b_row = pb + kk * n;
+    for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+  }
+}
+
+// Shared [rows in [i0, i1)] x [k tiles] kernel used by both MatMul and
+// BatchedMatMul. The k tiles advance in order inside each row, so per-row
+// accumulation order equals the sequential kernel's (bit-identical output
+// for every thread count / partition).
+inline void MatMulRows(const float* pa, const float* pb, float* po,
+                       int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t k0 = 0; k0 < k; k0 += kKTile) {
+    const int64_t k1 = std::min<int64_t>(k, k0 + kKTile);
+    for (int64_t i = i0; i < i1; ++i) {
+      MatMulRowTile(pa + i * k, pb, po + i * n, k0, k1, n);
+    }
+  }
 }
 
 }  // namespace
@@ -156,6 +225,10 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor RSubScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return s - x; });
 }
 
 Tensor Neg(const Tensor& a) {
@@ -226,17 +299,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order: streams both B and the output row.
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    const float* a_row = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  // Row-parallel, k-tiled: each task owns a contiguous block of output
+  // rows; inside a row, i-k-j order streams both B and the output row.
+  const int64_t row_grain =
+      std::max<int64_t>(1, kMatMulGrainFlops / std::max<int64_t>(1, k * n));
+  ParallelFor(0, m, row_grain, [&](int64_t i0, int64_t i1) {
+    MatMulRows(pa, pb, po, i0, i1, k, n);
+  });
   return out;
 }
 
@@ -258,21 +327,23 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* a_mat = broadcast_lhs ? pa : pa + bi * m * k;
-    const float* b_mat = broadcast_rhs ? pb : pb + bi * k * n;
-    float* o_mat = po + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float* out_row = o_mat + i * n;
-      const float* a_row = a_mat + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = b_mat + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
+  // Parallelize over the flattened batch x row space so small-batch,
+  // many-row workloads (the encoder's [B, N, C] steps) still spread over
+  // all threads. A task's range may straddle batch boundaries.
+  const int64_t row_grain =
+      std::max<int64_t>(1, kMatMulGrainFlops / std::max<int64_t>(1, k * n));
+  ParallelFor(0, batch * m, row_grain, [&](int64_t r0, int64_t r1) {
+    int64_t r = r0;
+    while (r < r1) {
+      const int64_t bi = r / m;
+      const int64_t i0 = r - bi * m;
+      const int64_t i1 = std::min<int64_t>(m, i0 + (r1 - r));
+      const float* a_mat = broadcast_lhs ? pa : pa + bi * m * k;
+      const float* b_mat = broadcast_rhs ? pb : pb + bi * k * n;
+      MatMulRows(a_mat, b_mat, po + bi * m * n, i0, i1, k, n);
+      r += i1 - i0;
     }
-  }
+  });
   return out;
 }
 
@@ -281,13 +352,19 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out{ReducedShape(a.shape(), axis, keepdim)};
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.axis_size; ++x) {
-      const float* src = pa + (o * s.axis_size + x) * s.inner;
-      float* dst = po + o * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) dst[i] += src[i];
-    }
-  }
+  // Tiles over (outer, inner) own disjoint output elements; the axis loop
+  // stays innermost-ordered, so sums accumulate in the sequential order
+  // regardless of thread count.
+  ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
+                [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t x = 0; x < s.axis_size; ++x) {
+                      const float* src = pa + (o * s.axis_size + x) * s.inner;
+                      float* dst = po + o * s.inner;
+                      for (int64_t i = i0; i < i1; ++i) dst[i] += src[i];
+                    }
+                  }
+                });
   return out;
 }
 
@@ -304,13 +381,18 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
   out.Fill(-std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < s.axis_size; ++x) {
-      const float* src = pa + (o * s.axis_size + x) * s.inner;
-      float* dst = po + o * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) dst[i] = std::max(dst[i], src[i]);
-    }
-  }
+  ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
+                [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t x = 0; x < s.axis_size; ++x) {
+                      const float* src = pa + (o * s.axis_size + x) * s.inner;
+                      float* dst = po + o * s.inner;
+                      for (int64_t i = i0; i < i1; ++i) {
+                        dst[i] = std::max(dst[i], src[i]);
+                      }
+                    }
+                  }
+                });
   return out;
 }
 
@@ -320,28 +402,53 @@ Tensor ArgMax(const Tensor& a, int64_t axis) {
   Tensor out{ReducedShape(a.shape(), axis, /*keepdim=*/false)};
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      float best = -std::numeric_limits<float>::infinity();
-      int64_t best_idx = 0;
-      for (int64_t x = 0; x < s.axis_size; ++x) {
-        float v = pa[(o * s.axis_size + x) * s.inner + i];
-        if (v > best) {
-          best = v;
-          best_idx = x;
+  ParallelFor2D(
+      s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
+      [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
+        for (int64_t o = o0; o < o1; ++o) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float best = -std::numeric_limits<float>::infinity();
+            int64_t best_idx = 0;
+            for (int64_t x = 0; x < s.axis_size; ++x) {
+              float v = pa[(o * s.axis_size + x) * s.inner + i];
+              if (v > best) {
+                best = v;
+                best_idx = x;
+              }
+            }
+            po[o * s.inner + i] = static_cast<float>(best_idx);
+          }
         }
-      }
-      po[o * s.inner + i] = static_cast<float>(best_idx);
-    }
-  }
+      });
   return out;
 }
 
 Tensor SumAll(const Tensor& a) {
-  double acc = 0.0;
+  const int64_t n = a.size();
   const float* pa = a.data();
-  for (int64_t i = 0; i < a.size(); ++i) acc += pa[i];
-  return Tensor::Scalar(static_cast<float>(acc));
+  // Fixed-size blocks (independent of the thread count) with per-block
+  // double partials combined in block order keep the result identical for
+  // any pool size; small tensors take the single-accumulator path, which
+  // block order reproduces exactly.
+  const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (num_blocks <= 1) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) acc += pa[i];
+    return Tensor::Scalar(static_cast<float>(acc));
+  }
+  std::vector<double> partials(num_blocks, 0.0);
+  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t blk = b0; blk < b1; ++blk) {
+      const int64_t lo = blk * kReduceBlock;
+      const int64_t hi = std::min<int64_t>(n, lo + kReduceBlock);
+      double acc = 0.0;
+      for (int64_t i = lo; i < hi; ++i) acc += pa[i];
+      partials[blk] = acc;
+    }
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return Tensor::Scalar(static_cast<float>(total));
 }
 
 Tensor MeanAll(const Tensor& a) {
@@ -396,21 +503,29 @@ Tensor Transpose(const Tensor& a, int64_t axis0, int64_t axis1) {
   std::swap(out_in_strides[axis0], out_in_strides[axis1]);
 
   const int64_t rank = a.ndim();
-  std::vector<int64_t> index(rank, 0);
   const float* pa = a.data();
   float* po = out.data();
   const int64_t total = a.size();
-  int64_t in_offset = 0;
-  for (int64_t flat = 0; flat < total; ++flat) {
-    po[flat] = pa[in_offset];
+  ParallelFor(0, total, kElementwiseGrain, [&](int64_t flat0, int64_t flat1) {
+    std::vector<int64_t> index(rank, 0);
+    int64_t in_offset = 0;
+    int64_t rem = flat0;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++index[d];
-      in_offset += out_in_strides[d];
-      if (index[d] < out_dims[d]) break;
-      in_offset -= out_in_strides[d] * index[d];
-      index[d] = 0;
+      index[d] = rem % out_dims[d];
+      rem /= out_dims[d];
+      in_offset += index[d] * out_in_strides[d];
     }
-  }
+    for (int64_t flat = flat0; flat < flat1; ++flat) {
+      po[flat] = pa[in_offset];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        in_offset += out_in_strides[d];
+        if (index[d] < out_dims[d]) break;
+        in_offset -= out_in_strides[d] * index[d];
+        index[d] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -436,11 +551,17 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   for (const Tensor& p : parts) {
     const int64_t p_axis = p.dim(axis);
     const float* pp = p.data();
-    for (int64_t o = 0; o < s.outer; ++o) {
-      const float* src = pp + o * p_axis * s.inner;
-      float* dst = po + (o * axis_total + axis_offset) * s.inner;
-      std::copy(src, src + p_axis * s.inner, dst);
-    }
+    const int64_t copy_len = p_axis * s.inner;
+    const int64_t outer_grain =
+        std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(
+                                                     1, copy_len));
+    ParallelFor(0, s.outer, outer_grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        const float* src = pp + o * copy_len;
+        float* dst = po + (o * axis_total + axis_offset) * s.inner;
+        std::copy(src, src + copy_len, dst);
+      }
+    });
     axis_offset += p_axis;
   }
   return out;
@@ -477,11 +598,16 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t out_axis = end - start;
-  for (int64_t o = 0; o < s.outer; ++o) {
-    const float* src = pa + (o * axis_size + start) * s.inner;
-    float* dst = po + o * out_axis * s.inner;
-    std::copy(src, src + out_axis * s.inner, dst);
-  }
+  const int64_t copy_len = out_axis * s.inner;
+  const int64_t outer_grain = std::max<int64_t>(
+      1, kElementwiseGrain / std::max<int64_t>(1, copy_len));
+  ParallelFor(0, s.outer, outer_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* src = pa + (o * axis_size + start) * s.inner;
+      float* dst = po + o * copy_len;
+      std::copy(src, src + copy_len, dst);
+    }
+  });
   return out;
 }
 
@@ -494,19 +620,25 @@ Tensor IndexSelect(const Tensor& a, int64_t axis,
   Tensor out{Shape(out_dims)};
 
   const AxisSplit s = SplitAtAxis(a.shape(), axis);
+  const int64_t k = static_cast<int64_t>(indices.size());
+  for (int64_t x = 0; x < k; ++x) {
+    SAGDFN_CHECK_GE(indices[x], 0);
+    SAGDFN_CHECK_LT(indices[x], axis_size);
+  }
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t k = static_cast<int64_t>(indices.size());
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < k; ++x) {
-      const int64_t idx = indices[x];
-      SAGDFN_CHECK_GE(idx, 0);
-      SAGDFN_CHECK_LT(idx, axis_size);
-      const float* src = pa + (o * axis_size + idx) * s.inner;
-      float* dst = po + (o * k + x) * s.inner;
+  // Each (outer, index-slot) pair owns one disjoint output row.
+  const int64_t row_grain = std::max<int64_t>(
+      1, kElementwiseGrain / std::max<int64_t>(1, s.inner));
+  ParallelFor(0, s.outer * k, row_grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t o = r / k;
+      const int64_t x = r - o * k;
+      const float* src = pa + (o * axis_size + indices[x]) * s.inner;
+      float* dst = po + r * s.inner;
       std::copy(src, src + s.inner, dst);
     }
-  }
+  });
   return out;
 }
 
@@ -521,18 +653,26 @@ void IndexAddInto(Tensor& dst, int64_t axis,
   }
   const AxisSplit s = SplitAtAxis(dst.shape(), axis);
   const int64_t k = static_cast<int64_t>(indices.size());
+  for (int64_t x = 0; x < k; ++x) {
+    SAGDFN_CHECK_GE(indices[x], 0);
+    SAGDFN_CHECK_LT(indices[x], axis_size);
+  }
   const float* ps = src.data();
   float* pd = dst.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t x = 0; x < k; ++x) {
-      const int64_t idx = indices[x];
-      SAGDFN_CHECK_GE(idx, 0);
-      SAGDFN_CHECK_LT(idx, axis_size);
-      const float* sp = ps + (o * k + x) * s.inner;
-      float* dp = pd + (o * axis_size + idx) * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) dp[i] += sp[i];
-    }
-  }
+  // Indices may repeat, so the scatter axis (x) must stay sequential;
+  // (outer, inner) tiles touch disjoint destination elements and the x
+  // loop runs in sequential order inside each tile, keeping accumulation
+  // deterministic.
+  ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
+                [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t x = 0; x < k; ++x) {
+                      const float* sp = ps + (o * k + x) * s.inner;
+                      float* dp = pd + (o * axis_size + indices[x]) * s.inner;
+                      for (int64_t i = i0; i < i1; ++i) dp[i] += sp[i];
+                    }
+                  }
+                });
 }
 
 Tensor Softmax(const Tensor& a, int64_t axis) {

@@ -21,6 +21,9 @@ Tensor Minimum(const Tensor& a, const Tensor& b);
 // Scalar-broadcast conveniences.
 Tensor AddScalar(const Tensor& a, float s);
 Tensor MulScalar(const Tensor& a, float s);
+/// s - a per element (reverse subtraction), without materializing a
+/// constant tensor of s.
+Tensor RSubScalar(const Tensor& a, float s);
 
 // Elementwise unary operations.
 Tensor Neg(const Tensor& a);

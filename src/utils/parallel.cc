@@ -1,0 +1,229 @@
+#include "utils/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace sagdfn::utils {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+int64_t DefaultNumThreads() {
+  if (const char* env = std::getenv("SAGDFN_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int64_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+}  // namespace
+
+/// One parallel region. Workers hold a shared_ptr snapshot, so a worker
+/// that wakes late (after the region completed and a new one started)
+/// still sees its own exhausted task counter and never claims tasks from
+/// a newer job.
+struct ThreadPool::Job {
+  const std::function<void(int64_t)>* fn = nullptr;
+  int64_t total = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> completed{0};
+};
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Job> job;  // guarded by mu
+  uint64_t generation = 0;   // guarded by mu
+  bool shutdown = false;     // guarded by mu
+};
+
+ThreadPool::ThreadPool(int64_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads), impl_(new Impl) {
+  for (int64_t i = 1; i < num_threads_; ++i) {
+    impl_->workers.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  while (true) {
+    impl_->work_cv.wait(lock, [&] {
+      return impl_->shutdown || impl_->generation != seen_generation;
+    });
+    if (impl_->shutdown) return;
+    seen_generation = impl_->generation;
+    std::shared_ptr<Job> job = impl_->job;
+    lock.unlock();
+
+    t_in_parallel_region = true;
+    int64_t task;
+    while ((task = job->next.fetch_add(1, std::memory_order_relaxed)) <
+           job->total) {
+      (*job->fn)(task);
+      if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job->total) {
+        std::lock_guard<std::mutex> g(impl_->mu);
+        impl_->done_cv.notify_all();
+      }
+    }
+    t_in_parallel_region = false;
+
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(int64_t num_tasks,
+                     const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_threads_ == 1 || num_tasks == 1 || t_in_parallel_region) {
+    for (int64_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->total = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The calling thread participates in the region.
+  t_in_parallel_region = true;
+  int64_t task;
+  while ((task = job->next.fetch_add(1, std::memory_order_relaxed)) <
+         job->total) {
+    fn(task);
+    job->completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->done_cv.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->total;
+  });
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultNumThreads());
+  return *g_pool;
+}
+
+int64_t GetNumThreads() { return GlobalThreadPool().num_threads(); }
+
+void SetNumThreads(int64_t n) {
+  SAGDFN_CHECK_GE(n, 0) << "SetNumThreads expects n >= 0";
+  SAGDFN_CHECK(!ThreadPool::InParallelRegion())
+      << "SetNumThreads inside a parallel region";
+  const int64_t target = n == 0 ? DefaultNumThreads() : n;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool && g_pool->num_threads() == target) return;
+  g_pool.reset();  // join old workers before spawning the new pool
+  g_pool = std::make_unique<ThreadPool>(target);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (n <= grain || ThreadPool::InParallelRegion()) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool& pool = GlobalThreadPool();
+  const int64_t threads = pool.num_threads();
+  if (threads == 1) {
+    body(begin, end);
+    return;
+  }
+  // Static partition: at most 4 tasks per thread (load balancing for
+  // irregular work), each covering at least `grain` iterations.
+  int64_t num_tasks = (n + grain - 1) / grain;
+  if (num_tasks > threads * 4) num_tasks = threads * 4;
+  const int64_t chunk = (n + num_tasks - 1) / num_tasks;
+  num_tasks = (n + chunk - 1) / chunk;
+  pool.Run(num_tasks, [&](int64_t task) {
+    const int64_t b = begin + task * chunk;
+    const int64_t e = b + chunk < end ? b + chunk : end;
+    body(b, e);
+  });
+}
+
+void ParallelFor2D(int64_t rows, int64_t cols, int64_t row_grain,
+                   int64_t col_grain,
+                   const std::function<void(int64_t, int64_t, int64_t,
+                                            int64_t)>& body) {
+  if (rows <= 0 || cols <= 0) return;
+  if (row_grain < 1) row_grain = 1;
+  if (col_grain < 1) col_grain = 1;
+  if ((rows <= row_grain && cols <= col_grain) ||
+      ThreadPool::InParallelRegion()) {
+    body(0, rows, 0, cols);
+    return;
+  }
+  ThreadPool& pool = GlobalThreadPool();
+  const int64_t threads = pool.num_threads();
+  if (threads == 1) {
+    body(0, rows, 0, cols);
+    return;
+  }
+  int64_t row_tasks = (rows + row_grain - 1) / row_grain;
+  int64_t col_tasks = (cols + col_grain - 1) / col_grain;
+  // Prefer splitting rows (outer dimension, better locality); split
+  // columns only as far as needed to reach one task per thread.
+  if (row_tasks > threads * 4) row_tasks = threads * 4;
+  const int64_t max_col_tasks =
+      row_tasks >= threads ? 1 : (threads + row_tasks - 1) / row_tasks;
+  if (col_tasks > max_col_tasks) col_tasks = max_col_tasks;
+  const int64_t row_chunk = (rows + row_tasks - 1) / row_tasks;
+  const int64_t col_chunk = (cols + col_tasks - 1) / col_tasks;
+  row_tasks = (rows + row_chunk - 1) / row_chunk;
+  col_tasks = (cols + col_chunk - 1) / col_chunk;
+  pool.Run(row_tasks * col_tasks, [&](int64_t task) {
+    const int64_t rt = task / col_tasks;
+    const int64_t ct = task % col_tasks;
+    const int64_t r0 = rt * row_chunk;
+    const int64_t r1 = r0 + row_chunk < rows ? r0 + row_chunk : rows;
+    const int64_t c0 = ct * col_chunk;
+    const int64_t c1 = c0 + col_chunk < cols ? c0 + col_chunk : cols;
+    body(r0, r1, c0, c1);
+  });
+}
+
+}  // namespace sagdfn::utils

@@ -1,0 +1,100 @@
+#ifndef SAGDFN_UTILS_PARALLEL_H_
+#define SAGDFN_UTILS_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace sagdfn::utils {
+
+/// Fork-join thread pool behind ParallelFor / ParallelFor2D.
+///
+/// Design goals (see DESIGN.md "Threading model"):
+///  * reusable workers — no thread spawn on the hot path;
+///  * static, grain-size-aware partitioning — a caller-supplied `grain`
+///    bounds the minimum work per task, so tiny tensors never pay pool
+///    overhead (they run inline on the calling thread);
+///  * deterministic results for any thread count — every output element is
+///    written by exactly one task and the iteration order inside a task is
+///    the sequential order, so disjoint-write kernels are bit-identical to
+///    the single-threaded run. Reductions must use fixed-size blocks
+///    (independent of the thread count) combined in index order; see
+///    `kReduceBlock`.
+///  * nested parallel regions run inline: a ParallelFor issued from inside
+///    a worker executes sequentially on that worker, so callers may freely
+///    compose parallel layers (e.g. per-head SSMA over parallel matmuls).
+///
+/// The pool size comes from, in priority order: SetNumThreads(),
+/// the SAGDFN_NUM_THREADS environment variable (read once at first use),
+/// then std::thread::hardware_concurrency().
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` total execution slots (the calling
+  /// thread participates, so `num_threads - 1` workers are spawned).
+  explicit ThreadPool(int64_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution slots, including the calling thread. Always >= 1.
+  int64_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(0) .. fn(num_tasks - 1), distributing tasks over the workers
+  /// and the calling thread; blocks until every task finished. Tasks are
+  /// claimed dynamically but outputs are deterministic as long as tasks
+  /// write disjoint data. Called from inside a worker, runs inline.
+  void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  /// True on threads currently executing a pool task (used to inline
+  /// nested parallel regions).
+  static bool InParallelRegion();
+
+ private:
+  struct Job;
+  void WorkerLoop();
+
+  int64_t num_threads_;
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Process-global pool accessors. Not thread-safe against each other: call
+/// SetNumThreads from the main thread, between parallel regions.
+ThreadPool& GlobalThreadPool();
+
+/// Returns the current global pool size (>= 1).
+int64_t GetNumThreads();
+
+/// Resizes the global pool. `n >= 1` sets an explicit size; `n == 0`
+/// resets to the default (SAGDFN_NUM_THREADS env var, else hardware
+/// concurrency).
+void SetNumThreads(int64_t n);
+
+/// Fixed reduction block size (elements). Reduction kernels accumulate one
+/// partial per block and combine partials in block order, making results
+/// independent of the thread count (and of scheduling).
+inline constexpr int64_t kReduceBlock = 16384;
+
+/// Default minimum elements per task for elementwise kernels; below this
+/// the loop runs inline.
+inline constexpr int64_t kElementwiseGrain = 32768;
+
+/// Splits [begin, end) into contiguous chunks of at least `grain`
+/// iterations and runs `body(chunk_begin, chunk_end)` across the pool.
+/// Runs inline when the range fits in one grain, the pool has one thread,
+/// or the caller is already inside a parallel region.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+/// 2-D variant: tiles [0, rows) x [0, cols) into blocks of at least
+/// `row_grain` x `col_grain` and runs `body(r0, r1, c0, c1)` per tile.
+/// Useful when the outer extent alone is too small to saturate the pool
+/// (e.g. batch x row parallelism for small-batch matmuls).
+void ParallelFor2D(int64_t rows, int64_t cols, int64_t row_grain,
+                   int64_t col_grain,
+                   const std::function<void(int64_t, int64_t, int64_t,
+                                            int64_t)>& body);
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_PARALLEL_H_

@@ -4,11 +4,15 @@
 // odometer iteration; the references use nothing but index arithmetic, so
 // agreement across many random shapes is strong evidence of correctness.
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include <gtest/gtest.h>
 
+#include "autograd/ops.h"
+#include "core/sagdfn.h"
 #include "tensor/tensor_ops.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 
 namespace sagdfn::tensor {
@@ -253,6 +257,182 @@ TEST(TransposeDifferential, MatchesElementwiseDefinition) {
       for (int64_t k = 0; k < 5; ++k) {
         EXPECT_FLOAT_EQ(t.At({k, j, i}), a.At({i, j, k}));
       }
+    }
+  }
+}
+
+TEST(ScalarOpDifferential, RSubScalarMatchesSubFromConstant) {
+  utils::Rng rng(404);
+  Tensor a = Tensor::Normal(Shape({5, 7, 3}), rng);
+  Tensor expected = Sub(Tensor::Full(a.shape(), 2.5f), a);
+  Tensor got = RSubScalar(a, 2.5f);
+  ASSERT_TRUE(got.shape() == expected.shape());
+  for (int64_t i = 0; i < got.size(); ++i) {
+    EXPECT_FLOAT_EQ(got[i], expected[i]);
+  }
+}
+
+// -- Thread-count determinism ------------------------------------------------
+//
+// The parallel kernels promise bit-identical results for every thread
+// count: disjoint-write kernels preserve the sequential per-element
+// accumulation order, and full reductions use fixed-size blocks combined
+// in block order. These tests run each kernel at 1, 2 and 8 threads on
+// shapes large enough to engage the pool and require exact equality.
+
+/// Restores the global pool size on scope exit.
+class ThreadCountRestorer {
+ public:
+  ThreadCountRestorer() : previous_(utils::GetNumThreads()) {}
+  ~ThreadCountRestorer() { utils::SetNumThreads(previous_); }
+
+ private:
+  int64_t previous_;
+};
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b,
+                        const char* label) {
+  ASSERT_TRUE(a.shape() == b.shape()) << label;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(float)),
+            0)
+      << label << ": results differ across thread counts";
+}
+
+constexpr int64_t kThreadCounts[] = {1, 2, 8};
+
+TEST(ThreadCountDeterminism, MatMulBitIdenticalAcrossThreadCounts) {
+  ThreadCountRestorer restore;
+  utils::Rng rng(501);
+  Tensor a = Tensor::Normal(Shape({160, 96}), rng);
+  Tensor b = Tensor::Normal(Shape({96, 80}), rng);
+  utils::SetNumThreads(1);
+  Tensor reference = MatMul(a, b);
+  EXPECT_TRUE(AllClose(reference, RefMatMul(a, b), 1e-3f, 1e-3f));
+  for (int64_t t : kThreadCounts) {
+    utils::SetNumThreads(t);
+    ExpectBitIdentical(MatMul(a, b), reference, "MatMul");
+  }
+}
+
+TEST(ThreadCountDeterminism, BatchedMatMulBitIdenticalAcrossThreadCounts) {
+  ThreadCountRestorer restore;
+  utils::Rng rng(502);
+  Tensor a = Tensor::Normal(Shape({6, 64, 40}), rng);
+  Tensor b = Tensor::Normal(Shape({6, 40, 48}), rng);
+  Tensor b_shared = Tensor::Normal(Shape({40, 48}), rng);
+  Tensor a_shared = Tensor::Normal(Shape({64, 40}), rng);
+  utils::SetNumThreads(1);
+  Tensor ref_full = BatchedMatMul(a, b);
+  Tensor ref_rhs = BatchedMatMul(a, b_shared);
+  Tensor ref_lhs = BatchedMatMul(a_shared, b);
+  for (int64_t t : kThreadCounts) {
+    utils::SetNumThreads(t);
+    ExpectBitIdentical(BatchedMatMul(a, b), ref_full, "BatchedMatMul");
+    ExpectBitIdentical(BatchedMatMul(a, b_shared), ref_rhs,
+                       "BatchedMatMul shared rhs");
+    ExpectBitIdentical(BatchedMatMul(a_shared, b), ref_lhs,
+                       "BatchedMatMul shared lhs");
+  }
+}
+
+TEST(ThreadCountDeterminism, ElementwiseAndReductionsBitIdentical) {
+  ThreadCountRestorer restore;
+  utils::Rng rng(503);
+  Tensor a = Tensor::Normal(Shape({16, 96, 64}), rng);
+  Tensor b = Tensor::Normal(Shape({16, 96, 64}), rng);
+  Tensor col = Tensor::Normal(Shape({96, 1}), rng);  // broadcast operand
+  utils::SetNumThreads(1);
+  Tensor ref_add = Add(a, b);
+  Tensor ref_bcast = Mul(a, col);
+  Tensor ref_exp = Exp(a);
+  Tensor ref_sum0 = Sum(a, 0);
+  Tensor ref_sum1 = Sum(a, 1, /*keepdim=*/true);
+  Tensor ref_sum2 = Sum(a, 2);
+  Tensor ref_max = Max(a, 1);
+  Tensor ref_sum_all = SumAll(a);
+  Tensor ref_transpose = Transpose(a, 0, 2);
+  for (int64_t t : kThreadCounts) {
+    utils::SetNumThreads(t);
+    ExpectBitIdentical(Add(a, b), ref_add, "Add");
+    ExpectBitIdentical(Mul(a, col), ref_bcast, "Mul broadcast");
+    ExpectBitIdentical(Exp(a), ref_exp, "Exp");
+    ExpectBitIdentical(Sum(a, 0), ref_sum0, "Sum axis 0");
+    ExpectBitIdentical(Sum(a, 1, true), ref_sum1, "Sum axis 1 keepdim");
+    ExpectBitIdentical(Sum(a, 2), ref_sum2, "Sum axis 2");
+    ExpectBitIdentical(Max(a, 1), ref_max, "Max axis 1");
+    ExpectBitIdentical(SumAll(a), ref_sum_all, "SumAll");
+    ExpectBitIdentical(Transpose(a, 0, 2), ref_transpose, "Transpose");
+  }
+}
+
+TEST(ThreadCountDeterminism, GatherScatterBitIdentical) {
+  ThreadCountRestorer restore;
+  utils::Rng rng(504);
+  Tensor a = Tensor::Normal(Shape({4, 512, 24}), rng);
+  // Repeated indices exercise the scatter's sequential-axis ordering.
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 64; ++i) indices.push_back((i * 7) % 512);
+  Tensor src = Tensor::Normal(Shape({4, 64, 24}), rng);
+  utils::SetNumThreads(1);
+  Tensor ref_gather = IndexSelect(a, 1, indices);
+  Tensor ref_scatter = Tensor::Zeros(a.shape());
+  IndexAddInto(ref_scatter, 1, indices, src);
+  for (int64_t t : kThreadCounts) {
+    utils::SetNumThreads(t);
+    ExpectBitIdentical(IndexSelect(a, 1, indices), ref_gather,
+                       "IndexSelect");
+    Tensor scatter = Tensor::Zeros(a.shape());
+    IndexAddInto(scatter, 1, indices, src);
+    ExpectBitIdentical(scatter, ref_scatter, "IndexAddInto");
+  }
+}
+
+// Full-model determinism: one SAGDFN forward + backward must produce
+// bit-identical predictions and gradients at every thread count (fresh
+// identically-seeded model per run; all sampling is seed-deterministic).
+TEST(ThreadCountDeterminism, SagdfnForwardBackwardBitIdentical) {
+  ThreadCountRestorer restore;
+  core::SagdfnConfig config;
+  config.num_nodes = 96;
+  config.embedding_dim = 8;
+  config.m = 12;
+  config.k = 8;
+  config.hidden_dim = 24;
+  config.heads = 2;
+  config.ffn_hidden = 8;
+  config.diffusion_steps = 2;
+  config.history = 4;
+  config.horizon = 4;
+  config.seed = 11;
+
+  utils::Rng data_rng(505);
+  Tensor x = Tensor::Normal(Shape({2, 4, 96, 2}), data_rng);
+  Tensor tod = Tensor::Uniform(Shape({2, 4}), data_rng);
+  Tensor target = Tensor::Normal(Shape({2, 4, 96}), data_rng);
+
+  Tensor ref_pred;
+  std::vector<std::pair<std::string, Tensor>> ref_grads;
+  for (int64_t t : kThreadCounts) {
+    utils::SetNumThreads(t);
+    core::SagdfnModel model(config);
+    autograd::Variable pred = model.Forward(x, tod, /*iteration=*/0);
+    autograd::Variable loss = autograd::L1Loss(pred, autograd::Variable(target));
+    loss.Backward();
+    if (t == 1) {
+      ref_pred = pred.value();
+      for (auto& [name, param] : model.NamedParameters()) {
+        ref_grads.emplace_back(name, param.grad());
+      }
+      continue;
+    }
+    ExpectBitIdentical(pred.value(), ref_pred, "SAGDFN forward");
+    auto named = model.NamedParameters();
+    ASSERT_EQ(named.size(), ref_grads.size());
+    for (size_t i = 0; i < named.size(); ++i) {
+      ASSERT_EQ(named[i].first, ref_grads[i].first);
+      ExpectBitIdentical(named[i].second.grad(), ref_grads[i].second,
+                         ("grad " + named[i].first).c_str());
     }
   }
 }

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "utils/cli.h"
 #include "utils/memory_info.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 #include "utils/status.h"
 #include "utils/string_util.h"
@@ -162,6 +165,123 @@ TEST(MemoryInfoTest, ReportsPlausibleRss) {
   const int64_t rss = CurrentRssBytes();
   EXPECT_GT(rss, 1 << 20);  // more than 1 MiB
   EXPECT_GE(PeakRssBytes(), rss);
+}
+
+// -- Thread pool -------------------------------------------------------------
+
+/// Restores the global pool size on scope exit so tests stay independent.
+class ThreadCountRestorer {
+ public:
+  ThreadCountRestorer() : previous_(GetNumThreads()) {}
+  ~ThreadCountRestorer() { SetNumThreads(previous_); }
+
+ private:
+  int64_t previous_;
+};
+
+TEST(ParallelTest, SetAndGetNumThreads) {
+  ThreadCountRestorer restore;
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(0);  // reset to default
+  EXPECT_GE(GetNumThreads(), 1);
+}
+
+TEST(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadCountRestorer restore;
+  SetNumThreads(4);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, kN, /*grain=*/128, [&](int64_t b, int64_t e) {
+    EXPECT_LT(b, e);
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, ParallelForInlinesBelowGrain) {
+  ThreadCountRestorer restore;
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 25, /*grain=*/100, [&](int64_t b, int64_t e) {
+    ++calls;  // inline -> single call, no data race possible
+    EXPECT_EQ(b, 5);
+    EXPECT_EQ(e, 25);
+    EXPECT_FALSE(ThreadPool::InParallelRegion());
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, EmptyAndSingleElementRanges) {
+  ThreadCountRestorer restore;
+  SetNumThreads(2);
+  int calls = 0;
+  ParallelFor(3, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(3, 4, 1, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(e - b, 1);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, NestedParallelForRunsInline) {
+  ThreadCountRestorer restore;
+  SetNumThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 64, /*grain=*/1, [&](int64_t b, int64_t e) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // The nested region must execute inline on this worker (exactly one
+    // body call spanning the full range).
+    int inner_calls = 0;
+    ParallelFor(0, 1000, 1, [&](int64_t ib, int64_t ie) {
+      ++inner_calls;
+      EXPECT_EQ(ib, 0);
+      EXPECT_EQ(ie, 1000);
+    });
+    EXPECT_EQ(inner_calls, 1);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelTest, ParallelFor2DTilesCoverGridExactlyOnce) {
+  ThreadCountRestorer restore;
+  SetNumThreads(4);
+  constexpr int64_t kRows = 37;
+  constexpr int64_t kCols = 513;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  for (auto& h : hits) h.store(0);
+  ParallelFor2D(kRows, kCols, /*row_grain=*/4, /*col_grain=*/64,
+                [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                  for (int64_t r = r0; r < r1; ++r) {
+                    for (int64_t c = c0; c < c1; ++c) {
+                      hits[r * kCols + c].fetch_add(1);
+                    }
+                  }
+                });
+  for (int64_t i = 0; i < kRows * kCols; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelTest, PoolIsReusableAcrossManyRegions) {
+  ThreadCountRestorer restore;
+  SetNumThreads(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 1024, 1, [&](int64_t b, int64_t e) {
+      int64_t local = 0;
+      for (int64_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 1024 * 1023 / 2);
+  }
 }
 
 }  // namespace

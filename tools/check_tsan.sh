@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the parallel-kernel tests under ThreadSanitizer and runs the
+# thread-pool / determinism suites at 8 threads. Any data race in the
+# ParallelFor backend or the parallel tensor kernels fails the script.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSAGDFN_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target utils_test tensor_reference_test
+
+# halt_on_error so the first race aborts with a non-zero exit code.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+export SAGDFN_NUM_THREADS=8
+
+echo "== ThreadPool / ParallelFor tests (8 threads) =="
+"${BUILD_DIR}/tests/utils_test" --gtest_filter='ParallelTest.*'
+
+echo "== Parallel kernel determinism tests (8 threads) =="
+"${BUILD_DIR}/tests/tensor_reference_test" \
+  --gtest_filter='ThreadCountDeterminism.*:ScalarOpDifferential.*'
+
+echo "TSan check passed: no data races detected."
