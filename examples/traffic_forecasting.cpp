@@ -4,14 +4,87 @@
 // using the shared Forecaster interface the benches also use.
 //
 // Build & run:  ./build/examples/traffic_forecasting [--nodes N]
+//
+// Fault-tolerant mode: pass --ckpt_dir DIR to train SAGDFN with atomic
+// full-state checkpoints. Interrupt the run (Ctrl-C, power loss, or a
+// simulated crash via SAGDFN_FAULT_SPEC=crash@epoch=2), then re-run the
+// same command: it resumes from the newest checkpoint and finishes with
+// the exact parameters an uninterrupted run would have produced. See the
+// README's "interrupt and resume" walkthrough.
 #include <iostream>
 
 #include "baselines/registry.h"
+#include "core/sagdfn.h"
+#include "core/trainer.h"
 #include "data/registry.h"
 #include "metrics/metrics.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
+
+namespace {
+
+// Trains SAGDFN through core::Trainer with checkpointing enabled,
+// auto-resuming from the newest checkpoint in `ckpt_dir` if one exists.
+int RunFaultTolerantDemo(const sagdfn::data::ForecastDataset& dataset,
+                         const std::string& ckpt_dir, int64_t epochs) {
+  using namespace sagdfn;
+  core::SagdfnConfig config;
+  config.num_nodes = dataset.num_nodes();
+  config.embedding_dim = 10;
+  config.m = 12;
+  config.k = 9;
+  config.hidden_dim = 16;
+  config.heads = 2;
+  config.ffn_hidden = 8;
+  config.history = dataset.spec().history;
+  config.horizon = dataset.spec().horizon;
+  core::SagdfnModel model(config);
+
+  core::TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = 8;
+  options.learning_rate = 0.02;
+  options.max_train_batches_per_epoch = 25;
+  options.max_eval_batches = 10;
+  options.verbose = true;
+  options.checkpoint_dir = ckpt_dir;
+  core::Trainer trainer(&model, &dataset, options);
+
+  const std::string latest = core::Trainer::LatestCheckpoint(ckpt_dir);
+  if (!latest.empty()) {
+    utils::Status status = trainer.Resume(latest);
+    if (!status.ok()) {
+      std::cerr << "resume failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "resuming from " << latest << "\n";
+  } else {
+    std::cout << "no checkpoint in " << ckpt_dir << ", starting fresh\n";
+  }
+
+  core::TrainResult result = trainer.Train();
+  if (result.skipped_batches > 0 || result.rollbacks > 0) {
+    std::cout << "recovered from faults: " << result.skipped_batches
+              << " skipped batch(es), " << result.rollbacks
+              << " rollback(s)\n";
+  }
+  if (!result.status.ok()) {
+    std::cout << "training stopped early: " << result.status.ToString()
+              << "\nre-run this command to resume from "
+              << core::Trainer::LatestCheckpoint(ckpt_dir) << "\n";
+    return 1;
+  }
+
+  auto scores = trainer.EvaluateSplit(data::Split::kTest, {3});
+  std::cout << "done: best val MAE " << result.best_val_mae
+            << ", test H3 MAE " << scores[0].mae << "\n"
+            << "checkpoints in " << ckpt_dir << " (best model: "
+            << trainer.BestCheckpointPath() << ")\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sagdfn;
@@ -29,6 +102,12 @@ int main(int argc, char** argv) {
             << dataset.series().num_steps() << " five-minute-class steps\n"
             << "task: " << dataset.spec().history << " steps in -> "
             << dataset.spec().horizon << " steps out\n\n";
+
+  const std::string ckpt_dir = cli.GetString("ckpt_dir", "");
+  if (!ckpt_dir.empty()) {
+    return RunFaultTolerantDemo(dataset, ckpt_dir,
+                                cli.GetInt("epochs", 6));
+  }
 
   baselines::FitOptions fit;
   fit.epochs = 4;

@@ -69,6 +69,17 @@ class DenseStgnn : public core::SeqModel {
   std::string name() const override { return config_.name; }
   int64_t horizon() const override { return config_.horizon; }
 
+  /// The scheduled-sampling RNG is the only non-parameter training state.
+  std::vector<std::pair<std::string, std::vector<uint64_t>>>
+  ExportRuntimeState() const override {
+    return {{"rng", teacher_rng_.SerializeState()}};
+  }
+  utils::Status ImportRuntimeState(
+      const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+          state) override {
+    return ImportSingleRng(state, &teacher_rng_);
+  }
+
   /// The dense adjacency the current parameters produce (inference mode).
   tensor::Tensor ComputeAdjacency();
 

@@ -34,6 +34,17 @@ class RnnSeq2Seq : public core::SeqModel {
   }
   int64_t horizon() const override { return horizon_; }
 
+  /// The scheduled-sampling RNG is the only non-parameter training state.
+  std::vector<std::pair<std::string, std::vector<uint64_t>>>
+  ExportRuntimeState() const override {
+    return {{"rng", teacher_rng_.SerializeState()}};
+  }
+  utils::Status ImportRuntimeState(
+      const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+          state) override {
+    return ImportSingleRng(state, &teacher_rng_);
+  }
+
  private:
   CellType cell_type_;
   int64_t input_dim_;

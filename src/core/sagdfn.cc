@@ -70,6 +70,39 @@ void SagdfnModel::OnStateLoaded() {
   frozen_ = index_state_[config_.m] > 0.5f;
 }
 
+std::vector<std::pair<std::string, std::vector<uint64_t>>>
+SagdfnModel::ExportRuntimeState() const {
+  return {{"rng", rng_.SerializeState()}, {"sns", sampler_->SerializeState()}};
+}
+
+utils::Status SagdfnModel::ImportRuntimeState(
+    const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+        state) {
+  bool have_rng = false;
+  bool have_sns = false;
+  for (const auto& [name, words] : state) {
+    if (name == "rng") {
+      if (static_cast<int64_t>(words.size()) != utils::Rng::kStateWords) {
+        return utils::Status::InvalidArgument(
+            "SAGDFN rng state has wrong size");
+      }
+      rng_.DeserializeState(words);
+      have_rng = true;
+    } else if (name == "sns") {
+      SAGDFN_RETURN_IF_ERROR(sampler_->DeserializeState(words));
+      have_sns = true;
+    } else {
+      return utils::Status::InvalidArgument(
+          "unknown SAGDFN runtime-state entry: " + name);
+    }
+  }
+  if (!have_rng || !have_sns) {
+    return utils::Status::InvalidArgument(
+        "SAGDFN runtime state requires both 'rng' and 'sns' entries");
+  }
+  return utils::Status::Ok();
+}
+
 void SagdfnModel::OnTrainingPlan(int64_t total_iterations) {
   SAGDFN_CHECK_GT(total_iterations, 0);
   const int64_t cap =

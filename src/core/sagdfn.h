@@ -79,6 +79,15 @@ class SagdfnModel : public SeqModel {
   /// Restores the significant-node index set from the checkpoint buffer.
   void OnStateLoaded() override;
 
+  /// Checkpoints the scheduled-sampling RNG and the SNS sampler state
+  /// (exploration RNG + candidate matrix) so a resumed run replays the
+  /// exact neighbor-sampling and teacher-forcing sequence.
+  std::vector<std::pair<std::string, std::vector<uint64_t>>>
+  ExportRuntimeState() const override;
+  utils::Status ImportRuntimeState(
+      const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+          state) override;
+
   const SagdfnConfig& config() const { return config_; }
 
   /// The current significant-node index set I (|I| = M after the first

@@ -1,10 +1,14 @@
 #ifndef SAGDFN_CORE_SEQ_MODEL_H_
 #define SAGDFN_CORE_SEQ_MODEL_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "autograd/variable.h"
 #include "nn/module.h"
+#include "utils/status.h"
 
 namespace sagdfn::core {
 
@@ -43,6 +47,48 @@ class SeqModel : public nn::Module {
   /// neighbor-sampling convergence r) can calibrate against it.
   virtual void OnTrainingPlan(int64_t total_iterations) {
     (void)total_iterations;
+  }
+
+  /// Named opaque 64-bit state that lives outside parameters and buffers
+  /// but still determines the training trajectory — RNG streams
+  /// (scheduled sampling, exploration) and derived sampler state. The
+  /// Trainer bundles these into its checkpoints so a resumed run is
+  /// bit-exact. Models without such state return nothing.
+  virtual std::vector<std::pair<std::string, std::vector<uint64_t>>>
+  ExportRuntimeState() const {
+    return {};
+  }
+
+  /// Restores state captured by ExportRuntimeState() on an identically
+  /// configured model. Unknown names or wrong-sized payloads are
+  /// rejected; entries this model does not export are an error too.
+  virtual utils::Status ImportRuntimeState(
+      const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+          state) {
+    if (!state.empty()) {
+      return utils::Status::InvalidArgument(
+          name() + " has no runtime state but checkpoint carries " +
+          std::to_string(state.size()) + " entries");
+    }
+    return utils::Status::Ok();
+  }
+
+ protected:
+  /// Restores runtime state for models whose only such state is one RNG
+  /// stream exported as {"rng", words} (the autoregressive baselines).
+  static utils::Status ImportSingleRng(
+      const std::vector<std::pair<std::string, std::vector<uint64_t>>>&
+          state,
+      utils::Rng* rng) {
+    if (state.size() != 1 || state[0].first != "rng" ||
+        static_cast<int64_t>(state[0].second.size()) !=
+            utils::Rng::kStateWords) {
+      return utils::Status::InvalidArgument(
+          "expected a single 'rng' runtime-state entry of " +
+          std::to_string(utils::Rng::kStateWords) + " words");
+    }
+    rng->DeserializeState(state[0].second);
+    return utils::Status::Ok();
   }
 };
 

@@ -84,4 +84,40 @@ std::vector<int64_t> SignificantNeighborSampler::Sample(
   return index_set;
 }
 
+std::vector<uint64_t> SignificantNeighborSampler::SerializeState() const {
+  std::vector<uint64_t> words = rng_.SerializeState();
+  words.reserve(words.size() + num_nodes_ * m_);
+  for (const auto& row : candidates_) {
+    for (int64_t id : row) words.push_back(static_cast<uint64_t>(id));
+  }
+  return words;
+}
+
+utils::Status SignificantNeighborSampler::DeserializeState(
+    const std::vector<uint64_t>& words) {
+  const int64_t expected = utils::Rng::kStateWords + num_nodes_ * m_;
+  if (static_cast<int64_t>(words.size()) != expected) {
+    return utils::Status::InvalidArgument(
+        "SNS state size mismatch: got " + std::to_string(words.size()) +
+        " words, expected " + std::to_string(expected));
+  }
+  std::vector<std::vector<int64_t>> candidates(num_nodes_);
+  int64_t w = utils::Rng::kStateWords;
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    candidates[i].resize(m_);
+    for (int64_t j = 0; j < m_; ++j) {
+      const int64_t id = static_cast<int64_t>(words[w++]);
+      if (id < 0 || id >= num_nodes_) {
+        return utils::Status::InvalidArgument(
+            "SNS state has out-of-range candidate id " + std::to_string(id));
+      }
+      candidates[i][j] = id;
+    }
+  }
+  rng_.DeserializeState(std::vector<uint64_t>(
+      words.begin(), words.begin() + utils::Rng::kStateWords));
+  candidates_ = std::move(candidates);
+  return utils::Status::Ok();
+}
+
 }  // namespace sagdfn::core

@@ -6,6 +6,7 @@
 
 #include "tensor/tensor.h"
 #include "utils/rng.h"
+#include "utils/status.h"
 
 namespace sagdfn::core {
 
@@ -46,6 +47,18 @@ class SignificantNeighborSampler {
   const std::vector<int64_t>& candidates(int64_t row) const {
     return candidates_[row];
   }
+
+  /// Captures the sampler's mutable state — the exploration RNG and the
+  /// candidate matrix C (re-sorted in place by every Sample() call) — as
+  /// opaque words for checkpointing: Rng::kStateWords RNG words followed
+  /// by the N*M candidate ids row-major.
+  std::vector<uint64_t> SerializeState() const;
+
+  /// Restores state captured by SerializeState() on a sampler built with
+  /// the same (num_nodes, m, k); subsequent Sample() calls are
+  /// bit-identical to the source sampler's. Rejects wrong-sized payloads
+  /// and out-of-range candidate ids.
+  utils::Status DeserializeState(const std::vector<uint64_t>& words);
 
  private:
   int64_t num_nodes_;

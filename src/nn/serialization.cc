@@ -1,41 +1,223 @@
 #include "nn/serialization.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
+#include <sstream>
+
+#include "utils/fault.h"
+#include "utils/logging.h"
 
 namespace sagdfn::nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x53414744;  // "SAGD"
+constexpr uint64_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxRank = 16;
+constexpr uint64_t kMaxElements = uint64_t{1} << 40;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// ---------------------------------------------------------------------------
+// Writing. Every write goes through ByteSink so the serialized size is
+// tracked exactly (the header's payload_bytes field) and a stream failure
+// (full disk, I/O error) is detected at the write that caused it.
+
+class ByteSink {
+ public:
+  explicit ByteSink(std::ostream& out) : out_(out) {}
+
+  void Write(const void* data, size_t bytes) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    written_ += bytes;
+  }
+  void WriteU32(uint32_t v) { Write(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Write(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    Write(s.data(), s.size());
+  }
+
+  uint64_t written() const { return written_; }
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ostream& out_;
+  uint64_t written_ = 0;
+};
+
+// The payload (everything after the fixed-size header) for one checkpoint.
+void WritePayload(ByteSink& sink, const Checkpoint& checkpoint) {
+  for (const auto& [name, value] : checkpoint.tensors) {
+    sink.WriteString(name);
+    const auto& dims = value.shape().dims();
+    sink.WriteU64(dims.size());
+    for (int64_t d : dims) sink.WriteU64(static_cast<uint64_t>(d));
+    sink.Write(value.data(), value.size() * sizeof(float));
+  }
+  for (const auto& [name, words] : checkpoint.meta) {
+    sink.WriteString(name);
+    sink.WriteU64(words.size());
+    sink.Write(words.data(), words.size() * sizeof(uint64_t));
+  }
 }
 
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// ---------------------------------------------------------------------------
+// Reading. ByteSource mirrors ByteSink: every read is checked and counted
+// so a truncated file fails at the exact field, and the total consumed is
+// compared against the header's payload_bytes.
+
+class ByteSource {
+ public:
+  explicit ByteSource(std::istream& in) : in_(in) {}
+
+  bool Read(void* data, size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (in_.gcount() != static_cast<std::streamsize>(bytes)) return false;
+    consumed_ += bytes;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadString(std::string* s) {
+    uint64_t len = 0;
+    if (!ReadU64(&len) || len > kMaxNameLen) return false;
+    s->assign(len, '\0');
+    return Read(s->data(), len);
+  }
+
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  std::istream& in_;
+  uint64_t consumed_ = 0;
+};
+
+utils::Status LoadCheckpointImpl(Checkpoint* checkpoint,
+                                 const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return utils::Status::NotFound("cannot open: " + path);
+  }
+  ByteSource src(in);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!src.ReadU32(&magic) || magic != kMagic) {
+    return utils::Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  if (!src.ReadU32(&version) || version != kCheckpointVersion) {
+    return utils::Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        "): " + path);
+  }
+  uint64_t tensor_count = 0;
+  uint64_t meta_count = 0;
+  uint64_t payload_bytes = 0;
+  if (!src.ReadU64(&tensor_count) || !src.ReadU64(&meta_count) ||
+      !src.ReadU64(&payload_bytes)) {
+    return utils::Status::InvalidArgument("truncated checkpoint header: " +
+                                          path);
+  }
+
+  Checkpoint result;
+  result.tensors.reserve(tensor_count);
+  result.meta.reserve(meta_count);
+  const uint64_t header_bytes = src.consumed();
+
+  for (uint64_t i = 0; i < tensor_count; ++i) {
+    std::string name;
+    if (!src.ReadString(&name)) {
+      return utils::Status::InvalidArgument(
+          "truncated or corrupt tensor name (entry " + std::to_string(i) +
+          "): " + path);
+    }
+    uint64_t rank = 0;
+    if (!src.ReadU64(&rank) || rank > kMaxRank) {
+      return utils::Status::InvalidArgument("corrupt rank for " + name +
+                                            ": " + path);
+    }
+    std::vector<int64_t> dims(rank);
+    uint64_t elements = 1;
+    for (auto& d : dims) {
+      uint64_t v = 0;
+      if (!src.ReadU64(&v) || v > kMaxElements) {
+        return utils::Status::InvalidArgument("corrupt dims for " + name +
+                                              ": " + path);
+      }
+      d = static_cast<int64_t>(v);
+      elements *= v == 0 ? 1 : v;
+      if (elements > kMaxElements) {
+        return utils::Status::InvalidArgument(
+            "implausible element count for " + name + ": " + path);
+      }
+    }
+    tensor::Tensor value{tensor::Shape(dims)};
+    if (!src.Read(value.data(), value.size() * sizeof(float))) {
+      return utils::Status::InvalidArgument("truncated data for " + name +
+                                            ": " + path);
+    }
+    result.tensors.emplace_back(std::move(name), std::move(value));
+  }
+
+  for (uint64_t i = 0; i < meta_count; ++i) {
+    std::string name;
+    if (!src.ReadString(&name)) {
+      return utils::Status::InvalidArgument(
+          "truncated or corrupt meta name (entry " + std::to_string(i) +
+          "): " + path);
+    }
+    uint64_t words = 0;
+    if (!src.ReadU64(&words) || words > kMaxElements) {
+      return utils::Status::InvalidArgument("corrupt meta size for " + name +
+                                            ": " + path);
+    }
+    std::vector<uint64_t> values(words);
+    if (!src.Read(values.data(), words * sizeof(uint64_t))) {
+      return utils::Status::InvalidArgument("truncated meta for " + name +
+                                            ": " + path);
+    }
+    result.meta.emplace_back(std::move(name), std::move(values));
+  }
+
+  // The payload byte count in the header must agree with what the
+  // entries actually occupied, and the file must end exactly there — a
+  // disagreement means a truncated, padded, or tampered checkpoint.
+  const uint64_t consumed_payload = src.consumed() - header_bytes;
+  if (consumed_payload != payload_bytes) {
+    return utils::Status::InvalidArgument(
+        "payload size mismatch: header declares " +
+        std::to_string(payload_bytes) + " bytes, entries occupy " +
+        std::to_string(consumed_payload) + ": " + path);
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return utils::Status::InvalidArgument(
+        "trailing bytes after checkpoint payload: " + path);
+  }
+
+  *checkpoint = std::move(result);
+  return utils::Status::Ok();
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
+// fsyncs a path (file or directory) so a rename-published checkpoint
+// survives power loss. Best-effort on filesystems without dirsync.
+bool SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
-bool ReadU64(std::ifstream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-
-void WriteEntry(std::ofstream& out, const std::string& name,
-                const tensor::Tensor& value) {
-  WriteU64(out, name.size());
-  out.write(name.data(), static_cast<std::streamsize>(name.size()));
-  const auto& dims = value.shape().dims();
-  WriteU64(out, dims.size());
-  for (int64_t d : dims) WriteU64(out, static_cast<uint64_t>(d));
-  out.write(reinterpret_cast<const char*>(value.data()),
-            static_cast<std::streamsize>(value.size() * sizeof(float)));
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 /// Collects parameter and buffer storage handles by qualified name.
@@ -52,86 +234,153 @@ std::map<std::string, tensor::Tensor> StateMap(Module* module) {
 
 }  // namespace
 
-utils::Status SaveModule(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return utils::Status::NotFound("cannot open for write: " + path);
+const tensor::Tensor* Checkpoint::FindTensor(const std::string& name) const {
+  for (const auto& [n, t] : tensors) {
+    if (n == name) return &t;
   }
-  auto params = module.NamedParameters();
-  auto buffers = module.NamedBuffers();
-  WriteU32(out, kMagic);
-  WriteU64(out, params.size() + buffers.size());
-  for (const auto& [name, var] : params) {
-    WriteEntry(out, name, var.value());
+  return nullptr;
+}
+
+const std::vector<uint64_t>* Checkpoint::FindMeta(
+    const std::string& name) const {
+  for (const auto& [n, w] : meta) {
+    if (n == name) return &w;
   }
-  for (const auto& [name, buffer] : buffers) {
-    WriteEntry(out, "buffer:" + name, buffer);
+  return nullptr;
+}
+
+utils::Status SaveCheckpoint(const Checkpoint& checkpoint,
+                             const std::string& path) {
+  utils::FaultInjector& injector = utils::FaultInjector::Global();
+  if (injector.FireCounted(utils::FaultSite::kSaveFail)) {
+    return utils::Status::Internal("injected I/O failure saving " + path);
   }
-  if (!out.good()) {
-    return utils::Status::Internal("write failed: " + path);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return utils::Status::NotFound("cannot open for write: " + tmp);
+    }
+    // Serialize the payload once to learn its exact byte count, then
+    // write header + payload. Checkpoints are MB-scale here, so the
+    // extra in-memory pass is cheap and keeps the header trustworthy.
+    std::ostringstream payload_stream;
+    ByteSink payload(payload_stream);
+    WritePayload(payload, checkpoint);
+    const std::string payload_bytes = payload_stream.str();
+
+    ByteSink sink(out);
+    sink.WriteU32(kMagic);
+    sink.WriteU32(kCheckpointVersion);
+    sink.WriteU64(checkpoint.tensors.size());
+    sink.WriteU64(checkpoint.meta.size());
+    sink.WriteU64(payload_bytes.size());
+    sink.Write(payload_bytes.data(), payload_bytes.size());
+    out.flush();
+    if (!sink.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return utils::Status::ResourceExhausted(
+          "write failed (disk full or I/O error): " + tmp);
+    }
+  }
+
+  if (injector.FireCounted(utils::FaultSite::kTruncate)) {
+    // Simulate a torn write: chop the tail third off the temp file. The
+    // verification pass below must catch this before the rename.
+    std::ifstream probe(tmp, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<int64_t>(probe.tellg());
+    probe.close();
+    if (::truncate(tmp.c_str(), size * 2 / 3) != 0) {
+      std::remove(tmp.c_str());
+      return utils::Status::Internal("fault injection truncate failed: " +
+                                     tmp);
+    }
+  }
+
+  // Verify-before-publish: re-read the temp file end to end. Only a
+  // checkpoint that parses cleanly may replace the previous one.
+  Checkpoint readback;
+  utils::Status verify = LoadCheckpointImpl(&readback, tmp);
+  if (!verify.ok()) {
+    std::remove(tmp.c_str());
+    return utils::Status::Internal(
+        "checkpoint failed post-write verification (" + verify.message() +
+        "); previous checkpoint left intact");
+  }
+
+  if (!SyncPath(tmp)) {
+    std::remove(tmp.c_str());
+    return utils::Status::Internal("fsync failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return utils::Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  if (!SyncPath(DirName(path))) {
+    SAGDFN_LOG(Warning) << "directory fsync failed for " << path
+                        << " (checkpoint published but may not survive "
+                           "power loss)";
   }
   return utils::Status::Ok();
 }
 
-utils::Status LoadModule(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return utils::Status::NotFound("cannot open: " + path);
+utils::Status LoadCheckpoint(Checkpoint* checkpoint,
+                             const std::string& path) {
+  if (utils::FaultInjector::Global().FireCounted(
+          utils::FaultSite::kLoadFail)) {
+    return utils::Status::Internal("injected I/O failure loading " + path);
   }
-  uint32_t magic = 0;
-  uint64_t count = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) {
-    return utils::Status::InvalidArgument("bad checkpoint magic: " + path);
-  }
-  if (!ReadU64(in, &count)) {
-    return utils::Status::InvalidArgument("truncated checkpoint: " + path);
-  }
+  return LoadCheckpointImpl(checkpoint, path);
+}
 
+utils::Status SaveModule(const Module& module, const std::string& path) {
+  Checkpoint checkpoint;
+  for (const auto& [name, var] : module.NamedParameters()) {
+    checkpoint.tensors.emplace_back(name, var.value());
+  }
+  for (const auto& [name, buffer] : module.NamedBuffers()) {
+    checkpoint.tensors.emplace_back("buffer:" + name, buffer);
+  }
+  return SaveCheckpoint(checkpoint, path);
+}
+
+utils::Status LoadModuleFromCheckpoint(Module* module,
+                                       const Checkpoint& checkpoint,
+                                       const std::string& prefix) {
   std::map<std::string, tensor::Tensor> by_name = StateMap(module);
-  if (count != by_name.size()) {
-    return utils::Status::InvalidArgument(
-        "state count mismatch: file has " + std::to_string(count) +
-        ", module has " + std::to_string(by_name.size()));
-  }
-
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    if (!ReadU64(in, &name_len) || name_len > 4096) {
-      return utils::Status::InvalidArgument("corrupt name length");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint64_t rank = 0;
-    if (!ReadU64(in, &rank) || rank > 16) {
-      return utils::Status::InvalidArgument("corrupt rank for " + name);
-    }
-    std::vector<int64_t> dims(rank);
-    for (auto& d : dims) {
-      uint64_t v = 0;
-      if (!ReadU64(in, &v)) {
-        return utils::Status::InvalidArgument("corrupt dims for " + name);
-      }
-      d = static_cast<int64_t>(v);
-    }
-    auto it = by_name.find(name);
+  uint64_t matched = 0;
+  for (const auto& [name, value] : checkpoint.tensors) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string local = name.substr(prefix.size());
+    auto it = by_name.find(local);
     if (it == by_name.end()) {
-      return utils::Status::NotFound("unknown entry in file: " + name);
+      return utils::Status::NotFound("unknown entry in checkpoint: " + name);
     }
-    tensor::Shape shape(dims);
-    if (!(shape == it->second.shape())) {
+    if (!(value.shape() == it->second.shape())) {
       return utils::Status::InvalidArgument(
-          "shape mismatch for " + name + ": file " + shape.ToString() +
-          " vs module " + it->second.shape().ToString());
+          "shape mismatch for " + name + ": file " +
+          value.shape().ToString() + " vs module " +
+          it->second.shape().ToString());
     }
-    in.read(reinterpret_cast<char*>(it->second.data()),
-            static_cast<std::streamsize>(it->second.size() *
-                                         sizeof(float)));
-    if (!in.good()) {
-      return utils::Status::InvalidArgument("truncated data for " + name);
-    }
+    it->second.CopyFrom(value);
+    ++matched;
+  }
+  if (matched != by_name.size()) {
+    return utils::Status::InvalidArgument(
+        "state count mismatch: checkpoint has " + std::to_string(matched) +
+        " entries under '" + prefix + "', module has " +
+        std::to_string(by_name.size()));
   }
   module->OnStateLoaded();
   return utils::Status::Ok();
+}
+
+utils::Status LoadModule(Module* module, const std::string& path) {
+  Checkpoint checkpoint;
+  SAGDFN_RETURN_IF_ERROR(LoadCheckpoint(&checkpoint, path));
+  return LoadModuleFromCheckpoint(module, checkpoint, /*prefix=*/"");
 }
 
 }  // namespace sagdfn::nn

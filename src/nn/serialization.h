@@ -1,21 +1,75 @@
 #ifndef SAGDFN_NN_SERIALIZATION_H_
 #define SAGDFN_NN_SERIALIZATION_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
 #include "utils/status.h"
 
 namespace sagdfn::nn {
 
-/// Writes every named parameter of `module` to a binary checkpoint:
-/// magic, count, then per parameter (name, shape, float32 data).
+/// Checkpoint format version written by this build. Version 2 added the
+/// self-describing header (entry counts + payload byte count) and the
+/// u64 metadata entries that carry optimizer/trainer/RNG state.
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+/// In-memory image of a checkpoint file: named float tensors (model
+/// parameters, buffers, optimizer moment slots) plus named vectors of
+/// opaque 64-bit words (iteration counters, RNG streams, bit-cast
+/// doubles). Entry order is preserved on disk, so writing the same
+/// state twice produces byte-identical files.
+struct Checkpoint {
+  std::vector<std::pair<std::string, tensor::Tensor>> tensors;
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> meta;
+
+  /// Returns the named tensor or nullptr.
+  const tensor::Tensor* FindTensor(const std::string& name) const;
+
+  /// Returns the named metadata words or nullptr.
+  const std::vector<uint64_t>* FindMeta(const std::string& name) const;
+};
+
+/// Atomically writes `checkpoint` to `path`:
+///   1. serialize into `path + ".tmp"` with a versioned header that
+///      records entry counts and the exact payload byte count, checking
+///      the stream after every write (a full disk fails loudly, never
+///      silently truncates);
+///   2. re-read and validate the temp file (verify-before-publish, so a
+///      corrupted write can never shadow a good checkpoint);
+///   3. fsync the file and its directory, then rename() over `path`.
+/// On any failure the temp file is removed and an existing `path` is
+/// left untouched. Honors FaultInjector's io_fail@save / truncate_ckpt.
+utils::Status SaveCheckpoint(const Checkpoint& checkpoint,
+                             const std::string& path);
+
+/// Reads a checkpoint written by SaveCheckpoint. Validates the magic,
+/// version, every length/shape field, and that the payload byte count in
+/// the header matches both the bytes consumed and the file's actual
+/// size; truncated or padded files are rejected. Honors FaultInjector's
+/// io_fail@load.
+utils::Status LoadCheckpoint(Checkpoint* checkpoint,
+                             const std::string& path);
+
+/// Writes every named parameter and buffer of `module` as a checkpoint
+/// (atomically, via SaveCheckpoint).
 utils::Status SaveModule(const Module& module, const std::string& path);
 
 /// Loads a checkpoint produced by SaveModule into `module`. Every stored
-/// name must exist in the module with an identical shape, and every module
-/// parameter must be present in the file (strict matching).
+/// name must exist in the module with an identical shape, and every
+/// module parameter must be present in the file (strict matching).
 utils::Status LoadModule(Module* module, const std::string& path);
+
+/// Copies `checkpoint` tensors whose names start with `prefix` into the
+/// module's parameters and buffers (strict: every module state tensor
+/// must be present under `prefix` with an identical shape). Calls
+/// OnStateLoaded() on success. Shared by LoadModule and the trainer's
+/// full-state resume.
+utils::Status LoadModuleFromCheckpoint(Module* module,
+                                       const Checkpoint& checkpoint,
+                                       const std::string& prefix);
 
 }  // namespace sagdfn::nn
 

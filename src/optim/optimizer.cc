@@ -87,6 +87,11 @@ void Adam::Step() {
   }
 }
 
+void Adam::set_step_count(int64_t step_count) {
+  SAGDFN_CHECK_GE(step_count, 0);
+  step_count_ = step_count;
+}
+
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm) {
   SAGDFN_CHECK_GT(max_norm, 0.0);
@@ -99,8 +104,13 @@ double ClipGradNorm(const std::vector<autograd::Variable>& params,
     }
   }
   const double norm = std::sqrt(sq);
+  // A NaN/Inf norm means some gradient is non-finite; rescaling would
+  // spread NaN (or zeros, for max_norm/Inf) into every parameter. Leave
+  // the gradients as-is and report the norm for the caller's guard.
+  if (!std::isfinite(norm)) return norm;
   if (norm > max_norm) {
-    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    // norm > max_norm > 0, so the division is well-conditioned.
+    const float scale = static_cast<float>(max_norm / norm);
     for (const auto& p : params) {
       // grad() returns the stored buffer (shared handle) once defined, so
       // scaling through it updates the optimizer-visible gradient.

@@ -57,6 +57,17 @@ class Adam : public Optimizer {
 
   int64_t step_count() const { return step_count_; }
 
+  /// Checkpoint access to the optimizer state: first and second moment
+  /// slots, index-aligned with params(). The returned Tensor handles
+  /// share storage with the live slots, so writing through them (e.g.
+  /// Trainer::Resume copying a checkpoint in) updates the optimizer.
+  const std::vector<tensor::Tensor>& moments_m() const { return m_; }
+  const std::vector<tensor::Tensor>& moments_v() const { return v_; }
+
+  /// Restores the bias-correction step counter on resume. Requires
+  /// step_count >= 0.
+  void set_step_count(int64_t step_count);
+
  private:
   double beta1_;
   double beta2_;
@@ -68,7 +79,11 @@ class Adam : public Optimizer {
 };
 
 /// Rescales all gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm.
+/// Returns the pre-clip norm. A zero norm needs no rescaling and a
+/// non-finite norm (NaN/Inf gradients) leaves the gradients untouched —
+/// scaling by max_norm/Inf or by NaN would zero or poison every
+/// parameter — so callers must check std::isfinite on the returned norm
+/// before stepping the optimizer.
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm);
 

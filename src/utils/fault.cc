@@ -1,0 +1,225 @@
+#include "utils/fault.h"
+
+#include <cstdlib>
+
+#include "utils/logging.h"
+#include "utils/string_util.h"
+
+namespace sagdfn::utils {
+namespace {
+
+const char* SiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kLoss:
+      return "nan_loss";
+    case FaultSite::kGrad:
+      return "nan_grad";
+    case FaultSite::kCrash:
+      return "crash";
+    case FaultSite::kSaveFail:
+      return "io_fail@save";
+    case FaultSite::kLoadFail:
+      return "io_fail@load";
+    case FaultSite::kTruncate:
+      return "truncate_ckpt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    Status status = fi->ConfigureFromEnv();
+    SAGDFN_CHECK(status.ok()) << status.ToString();
+    return fi;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  std::vector<Rule> rules;
+  uint64_t seed = 42;
+  Status parsed = ParseSpec(spec, &rules, &seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!parsed.ok()) {
+    // A mistyped spec must not leave stale rules armed.
+    spec_.clear();
+    rules_.clear();
+    enabled_.store(false, std::memory_order_relaxed);
+    return parsed;
+  }
+  spec_ = spec;
+  rules_ = std::move(rules);
+  seed_ = seed;
+  rng_ = Rng(seed_);
+  for (auto& c : counters_) c = 0;
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FaultInjector::ParseSpec(const std::string& spec,
+                                std::vector<Rule>* out_rules,
+                                uint64_t* out_seed) {
+  std::vector<Rule>& rules = *out_rules;
+  uint64_t& seed = *out_seed;
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  for (const std::string& raw : Split(normalized, ',')) {
+    const std::string term = Trim(raw);
+    if (term.empty()) continue;
+
+    // Split "kind@key=value" (the @key=value part is optional).
+    std::string kind = term;
+    std::string key;
+    std::string value;
+    const size_t at = term.find('@');
+    if (at != std::string::npos) {
+      kind = term.substr(0, at);
+      const std::string rest = term.substr(at + 1);
+      const size_t eq = rest.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected @key=value");
+      }
+      key = rest.substr(0, eq);
+      value = rest.substr(eq + 1);
+    } else {
+      // "seed=K" has no site; handle before site mapping.
+      const size_t eq = term.find('=');
+      if (eq != std::string::npos) {
+        kind = term.substr(0, eq);
+        value = term.substr(eq + 1);
+        if (kind == "seed") {
+          int64_t parsed = 0;
+          if (!ParseInt64(value, &parsed) || parsed < 0) {
+            return Status::InvalidArgument("fault term '" + term +
+                                           "': bad seed");
+          }
+          seed = static_cast<uint64_t>(parsed);
+          continue;
+        }
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': unknown assignment");
+      }
+    }
+
+    Rule rule;
+    rule.term = term;
+    int64_t index = -1;
+    double prob = -1.0;
+    if (!value.empty() && key != "prob") {
+      if (!ParseInt64(value, &index) || index < 0) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': bad index '" + value + "'");
+      }
+    }
+    if (key == "prob") {
+      if (!ParseDouble(value, &prob) || prob < 0.0 || prob > 1.0) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': prob must be in [0, 1]");
+      }
+    }
+
+    if (kind == "nan_loss" || kind == "nan_grad") {
+      rule.site = kind == "nan_loss" ? FaultSite::kLoss : FaultSite::kGrad;
+      if (key == "iter") {
+        rule.index = index;
+      } else if (key == "prob") {
+        rule.prob = prob;
+      } else {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected @iter=N or @prob=P");
+      }
+    } else if (kind == "crash") {
+      if (key != "epoch") {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected crash@epoch=N");
+      }
+      rule.site = FaultSite::kCrash;
+      rule.index = index;
+    } else if (kind == "io_fail") {
+      if (key == "save") {
+        rule.site = FaultSite::kSaveFail;
+      } else if (key == "load") {
+        rule.site = FaultSite::kLoadFail;
+      } else {
+        return Status::InvalidArgument(
+            "fault term '" + term + "': expected io_fail@save=N or @load=N");
+      }
+      if (index < 1) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': occurrence is 1-based");
+      }
+      rule.index = index;
+    } else if (kind == "truncate_ckpt") {
+      rule.site = FaultSite::kTruncate;
+      if (key.empty()) {
+        rule.index = 1;  // default: the first checkpoint written
+      } else if (key == "save" && index >= 1) {
+        rule.index = index;
+      } else {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected truncate_ckpt[@save=N]");
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault kind '" + kind +
+                                     "' in term '" + term + "'");
+    }
+    rules.push_back(rule);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("SAGDFN_FAULT_SPEC");
+  return Configure(spec == nullptr ? "" : spec);
+}
+
+void FaultInjector::Reset() {
+  Status status = Configure("");
+  (void)status;  // "" always parses
+}
+
+std::string FaultInjector::active_spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+bool FaultInjector::FireLocked(FaultSite site, int64_t index) {
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    if (rule.index >= 0) {
+      if (!rule.fired && index == rule.index) {
+        rule.fired = true;
+        SAGDFN_LOG(Warning) << "FaultInjector: firing '" << rule.term
+                            << "' at " << SiteName(site) << " index "
+                            << index;
+        return true;
+      }
+    } else if (rng_.Bernoulli(rule.prob)) {
+      SAGDFN_LOG(Warning) << "FaultInjector: firing '" << rule.term
+                          << "' at " << SiteName(site) << " index " << index;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::Fire(FaultSite site, int64_t index) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return FireLocked(site, index);
+}
+
+bool FaultInjector::FireCounted(FaultSite site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t occurrence = ++counters_[static_cast<int>(site)];
+  return FireLocked(site, occurrence);
+}
+
+}  // namespace sagdfn::utils

@@ -1,0 +1,111 @@
+#ifndef SAGDFN_UTILS_FAULT_H_
+#define SAGDFN_UTILS_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "utils/rng.h"
+#include "utils/status.h"
+
+namespace sagdfn::utils {
+
+/// Where a fault can be injected. Each site is probed by exactly one
+/// component of the training runtime (core/trainer.cc and
+/// nn/serialization.cc), so a spec term maps to one well-defined failure.
+enum class FaultSite {
+  kLoss = 0,   // nan_loss:      poison the training loss before the guard
+  kGrad,       // nan_grad:      poison parameter gradients after backward
+  kCrash,      // crash:         abort the training loop after a checkpoint
+  kSaveFail,   // io_fail@save:  checkpoint write reports an I/O error
+  kLoadFail,   // io_fail@load:  checkpoint read reports an I/O error
+  kTruncate,   // truncate_ckpt: checkpoint bytes cut before publication
+};
+
+/// Number of distinct FaultSite values (for counter arrays).
+inline constexpr int kNumFaultSites = 6;
+
+/// Deterministic fault-injection harness for the fault-tolerant training
+/// runtime. Configured from a spec string (usually the SAGDFN_FAULT_SPEC
+/// environment variable) of comma- or semicolon-separated terms:
+///
+///   nan_loss@iter=7     poison the loss at global iteration 7 (once)
+///   nan_grad@iter=7     poison the gradients at iteration 7 (once)
+///   nan_grad@prob=0.25  poison gradients with probability 0.25 per batch
+///   crash@epoch=3       abort Train() right after epoch 3's checkpoint
+///   io_fail@save=2      the 2nd checkpoint save fails like a full disk
+///   io_fail@load=1      the 1st checkpoint load fails like a read error
+///   truncate_ckpt       truncate the 1st checkpoint's bytes pre-publish
+///   truncate_ckpt@save=2  ... the 2nd checkpoint's bytes
+///   seed=99             seed for the probabilistic (@prob) terms
+///
+/// Indexed terms (@iter/@epoch/@save/@load) fire exactly once;
+/// probabilistic terms fire on a seeded Bernoulli draw per probe, so a
+/// given (spec, seed) always yields the same fault sequence. An empty
+/// spec disables every probe at near-zero cost.
+class FaultInjector {
+ public:
+  /// Process-wide injector, shared by the trainer and serialization. On
+  /// first access it configures itself from SAGDFN_FAULT_SPEC (a parse
+  /// error aborts: a mistyped fault spec should never pass silently).
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Replaces the active spec (and resets all counters/one-shot latches).
+  /// An empty spec disables injection; a spec that fails to parse also
+  /// disables injection (stale rules are never left armed) and returns
+  /// the parse error.
+  Status Configure(const std::string& spec);
+
+  /// Configures from the SAGDFN_FAULT_SPEC environment variable (absent
+  /// or empty disables injection).
+  Status ConfigureFromEnv();
+
+  /// Disables injection and clears counters, latches, and the spec.
+  void Reset();
+
+  /// True if any rule is active.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The spec this injector was last configured with.
+  std::string active_spec() const;
+
+  /// Probes an index-triggered site (kLoss/kGrad by iteration, kCrash by
+  /// epoch). Returns true if a fault fires now; one-shot rules latch.
+  bool Fire(FaultSite site, int64_t index);
+
+  /// Probes an occurrence-counted site (kSaveFail/kLoadFail/kTruncate):
+  /// each call advances the site's 1-based counter, and a rule with
+  /// index N fires on the Nth probe.
+  bool FireCounted(FaultSite site);
+
+ private:
+  struct Rule {
+    FaultSite site;
+    int64_t index = -1;   // trigger index; -1 for probabilistic rules
+    double prob = 0.0;    // used when index < 0
+    bool fired = false;   // one-shot latch for indexed rules
+    std::string term;     // original spec term, for log lines
+  };
+
+  static Status ParseSpec(const std::string& spec,
+                          std::vector<Rule>* out_rules, uint64_t* out_seed);
+  bool FireLocked(FaultSite site, int64_t index);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::string spec_;
+  std::vector<Rule> rules_;
+  int64_t counters_[kNumFaultSites] = {};
+  uint64_t seed_ = 42;
+  Rng rng_{42};
+};
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_FAULT_H_

@@ -1,6 +1,7 @@
 #include "utils/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "utils/check.h"
@@ -96,6 +97,22 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 
 std::vector<int64_t> Rng::Permutation(int64_t n) {
   return SampleWithoutReplacement(n, n);
+}
+
+std::vector<uint64_t> Rng::SerializeState() const {
+  std::vector<uint64_t> words(kStateWords, 0);
+  for (int i = 0; i < 4; ++i) words[i] = state_[i];
+  words[4] = has_cached_normal_ ? 1 : 0;
+  static_assert(sizeof(cached_normal_) == sizeof(uint64_t));
+  std::memcpy(&words[5], &cached_normal_, sizeof(uint64_t));
+  return words;
+}
+
+void Rng::DeserializeState(const std::vector<uint64_t>& words) {
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(words.size()), kStateWords);
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_normal_ = words[4] != 0;
+  std::memcpy(&cached_normal_, &words[5], sizeof(uint64_t));
 }
 
 }  // namespace sagdfn::utils

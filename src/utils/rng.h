@@ -57,6 +57,18 @@ class Rng {
   /// Returns a random permutation of [0, n).
   std::vector<int64_t> Permutation(int64_t n);
 
+  /// Number of 64-bit words SerializeState() produces.
+  static constexpr int64_t kStateWords = 6;
+
+  /// Captures the full generator state (xoshiro words plus the cached
+  /// Box-Muller sample) as kStateWords opaque words, for checkpointing.
+  std::vector<uint64_t> SerializeState() const;
+
+  /// Restores state captured by SerializeState(); the next draws are
+  /// bit-identical to those the source generator would have produced.
+  /// Requires exactly kStateWords words.
+  void DeserializeState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -2,12 +2,14 @@
 #include "nn/serialization.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "core/sagdfn.h"
 #include "nn/mlp.h"
 #include "tensor/tensor_ops.h"
+#include "utils/fault.h"
 #include "utils/rng.h"
 
 namespace sagdfn::nn {
@@ -102,6 +104,139 @@ TEST(SerializationTest, ParameterCountMismatchRejected) {
   ASSERT_TRUE(SaveModule(two_layers, path).ok());
   Mlp one_layer({2, 2}, Activation::kRelu, rng);
   EXPECT_FALSE(LoadModule(&one_layer, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CheckpointMetaRoundTrip) {
+  utils::Rng rng(6);
+  Checkpoint original;
+  original.tensors.emplace_back("weights",
+                                Tensor::Uniform(Shape({3, 4}), rng));
+  original.meta.emplace_back("iteration", std::vector<uint64_t>{42});
+  original.meta.emplace_back("rng", rng.SerializeState());
+  const std::string path = TempPath("meta.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+
+  Checkpoint loaded;
+  ASSERT_TRUE(LoadCheckpoint(&loaded, path).ok());
+  const Tensor* w = loaded.FindTensor("weights");
+  ASSERT_NE(w, nullptr);
+  ASSERT_EQ(w->shape(), original.tensors[0].second.shape());
+  EXPECT_EQ(std::memcmp(w->data(), original.tensors[0].second.data(),
+                        w->size() * sizeof(float)),
+            0);
+  const std::vector<uint64_t>* iter = loaded.FindMeta("iteration");
+  ASSERT_NE(iter, nullptr);
+  EXPECT_EQ(*iter, std::vector<uint64_t>{42});
+  const std::vector<uint64_t>* rng_words = loaded.FindMeta("rng");
+  ASSERT_NE(rng_words, nullptr);
+  EXPECT_EQ(*rng_words, original.meta[1].second);
+  EXPECT_EQ(loaded.FindTensor("missing"), nullptr);
+  EXPECT_EQ(loaded.FindMeta("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  utils::Rng rng(7);
+  Mlp mlp({3, 5, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(SaveModule(mlp, path).ok());
+
+  // Chop off the tail; every truncation point must be detected.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{10}}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    Mlp target({3, 5, 2}, Activation::kRelu, rng);
+    utils::Status status = LoadModule(&target, path);
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    EXPECT_EQ(status.code(), utils::StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TrailingBytesRejected) {
+  utils::Rng rng(8);
+  Mlp mlp({2, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("padded.ckpt");
+  ASSERT_TRUE(SaveModule(mlp, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.put('\0');
+  }
+  utils::Status status = LoadModule(&mlp, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), utils::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  utils::Rng rng(9);
+  Mlp mlp({2, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("badmagic.ckpt");
+  ASSERT_TRUE(SaveModule(mlp, path).ok());
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.put('X');  // corrupt the first magic byte
+  }
+  utils::Status status = LoadModule(&mlp, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), utils::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, UnwritableDirectoryRejected) {
+  utils::Rng rng(10);
+  Mlp mlp({2, 2}, Activation::kRelu, rng);
+  utils::Status status =
+      SaveModule(mlp, "/nonexistent-dir/model.ckpt");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SerializationTest, InjectedTruncationNeverPublishes) {
+  utils::Rng rng(11);
+  Mlp mlp({3, 4, 2}, Activation::kRelu, rng);
+  const std::string path = TempPath("atomic.ckpt");
+  ASSERT_TRUE(SaveModule(mlp, path).ok());
+  Checkpoint good;
+  ASSERT_TRUE(LoadCheckpoint(&good, path).ok());
+
+  // The truncated write must fail verification, leave the previous
+  // checkpoint byte-identical, and clean up its temp file.
+  ASSERT_TRUE(
+      utils::FaultInjector::Global().Configure("truncate_ckpt").ok());
+  utils::Status status = SaveModule(mlp, path);
+  utils::FaultInjector::Global().Reset();
+  EXPECT_FALSE(status.ok());
+  Checkpoint still_good;
+  EXPECT_TRUE(LoadCheckpoint(&still_good, path).ok());
+  EXPECT_EQ(still_good.tensors.size(), good.tensors.size());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, InjectedIoFailureReported) {
+  utils::Rng rng(12);
+  Mlp mlp({2, 3}, Activation::kRelu, rng);
+  const std::string path = TempPath("iofail.ckpt");
+  ASSERT_TRUE(
+      utils::FaultInjector::Global().Configure("io_fail@save=1").ok());
+  utils::Status save_status = SaveModule(mlp, path);
+  EXPECT_FALSE(save_status.ok());
+
+  ASSERT_TRUE(SaveModule(mlp, path).ok());  // 2nd save succeeds
+  ASSERT_TRUE(
+      utils::FaultInjector::Global().Configure("io_fail@load=1").ok());
+  Checkpoint ckpt;
+  EXPECT_FALSE(LoadCheckpoint(&ckpt, path).ok());
+  EXPECT_TRUE(LoadCheckpoint(&ckpt, path).ok());  // 2nd load succeeds
+  utils::FaultInjector::Global().Reset();
   std::remove(path.c_str());
 }
 
