@@ -1,11 +1,54 @@
 #include "bench_common.h"
 
+#include <cctype>
 #include <iostream>
 
 #include "utils/stopwatch.h"
 #include "utils/string_util.h"
 
 namespace sagdfn::bench {
+
+namespace {
+
+/// "Table X: cost on FOO (simulated)" -> "table_x_cost_on_foo_simulated".
+std::string Slugify(const std::string& title) {
+  std::string slug;
+  slug.reserve(title.size());
+  bool last_sep = true;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+      last_sep = false;
+    } else if (!last_sep) {
+      slug += '_';
+      last_sep = true;
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "bench" : slug;
+}
+
+}  // namespace
+
+BenchTelemetry::BenchTelemetry(const std::string& name)
+    : name_(Slugify(name)) {
+  obs::Telemetry::SetCollectionEnabled(true);
+  obs::Telemetry::Global().Emit(
+      obs::Event("bench.start").Str("bench", name_));
+}
+
+BenchTelemetry::~BenchTelemetry() {
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  telemetry.EmitSnapshot("bench:" + name_);
+  const std::string path = "BENCH_" + name_ + ".json";
+  utils::Status status = telemetry.WriteRegistryJson(path, name_);
+  if (status.ok()) {
+    std::cerr << "[obs ] cost breakdown written to " << path << "\n";
+  } else {
+    std::cerr << "[obs ] " << status.ToString() << "\n";
+  }
+}
 
 BenchConfig ParseBenchConfig(int argc, char** argv) {
   utils::CommandLine cli(argc, argv);
@@ -96,6 +139,20 @@ ModelRun RunForecaster(baselines::Forecaster& forecaster,
   tensor::Tensor truth = baselines::CollectTruth(
       dataset, data::Split::kTest, pred.dim(0));
   run.horizon_scores = metrics::EvaluateHorizons(pred, truth, horizons);
+
+  // Per-model cost rows for the BENCH_*.json breakdown (Table 10 shape:
+  // parameters, train cost, inference cost).
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  telemetry.RecordDuration("bench.fit." + run.name, run.fit_seconds);
+  telemetry.RecordDuration("bench.infer." + run.name,
+                           run.inference_seconds);
+  telemetry.SetGauge("bench.params." + run.name,
+                     static_cast<double>(run.parameter_count));
+  telemetry.Emit(obs::Event("bench.model_run")
+                     .Str("model", run.name)
+                     .Int("parameters", run.parameter_count)
+                     .Double("fit_seconds", run.fit_seconds)
+                     .Double("inference_seconds", run.inference_seconds));
   return run;
 }
 
@@ -155,6 +212,7 @@ int RunLargeDatasetTable(const std::string& dataset_name,
     if (config.max_train_batches == 0) config.max_train_batches = 20;
   }
   PrintHeader(title, config);
+  BenchTelemetry telemetry(dataset_name + "_table");
 
   data::ForecastDataset dataset = LoadDataset(dataset_name, config);
   std::cout << "dataset: " << dataset.num_nodes() << " nodes (paper scale: "

@@ -8,11 +8,31 @@
 #include "baselines/registry.h"
 #include "data/registry.h"
 #include "metrics/metrics.h"
+#include "obs/telemetry.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
 
 namespace sagdfn::bench {
+
+/// Scoped bench telemetry: enables obs collection for the process (so the
+/// sns/ssma/gconv scoped timers and the per-model fit/inference records
+/// all land in the shared registry) and, on destruction, writes the
+/// registry as a machine-readable `BENCH_<name>.json` cost breakdown —
+/// the Table 10 analogue for whatever the bench ran. An event stream
+/// (SAGDFN_TELEMETRY=path) composes with this: events go to the JSONL
+/// sink, the aggregate still goes to BENCH_<name>.json.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(const std::string& name);
+  ~BenchTelemetry();
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+ private:
+  std::string name_;
+};
 
 /// Scale/effort knobs shared by every bench binary. Default is the CPU
 /// "quick" profile (seconds per model); `--full` requests paper-scale

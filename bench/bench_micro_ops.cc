@@ -9,13 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/entmax.h"
 #include "core/sagdfn.h"
 #include "core/sns.h"
+#include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
+#include "utils/check.h"
 #include "utils/parallel.h"
 #include "utils/rng.h"
 
@@ -260,6 +263,41 @@ BENCHMARK(BM_SagdfnForwardThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Telemetry overhead contract. The disabled path of SAGDFN_SCOPED_TIMER
+// must be a single relaxed atomic load — this bench both measures it and
+// asserts that nothing was recorded (instrumented kernels with telemetry
+// off must stay within noise of PR 1 throughput).
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  const bool prev = obs::Telemetry::CollectionEnabled();
+  obs::Telemetry::SetCollectionEnabled(false);
+  for (auto _ : state) {
+    SAGDFN_SCOPED_TIMER("bench.overhead.disabled");
+    benchmark::ClobberMemory();
+  }
+  SAGDFN_CHECK_EQ(
+      obs::Telemetry::Global().timer("bench.overhead.disabled").count, 0);
+  obs::Telemetry::SetCollectionEnabled(prev);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+// The enabled path: two steady_clock reads plus relaxed-atomic updates.
+void BM_ScopedTimerEnabled(benchmark::State& state) {
+  const bool prev = obs::Telemetry::CollectionEnabled();
+  obs::Telemetry::SetCollectionEnabled(true);
+  for (auto _ : state) {
+    SAGDFN_SCOPED_TIMER("bench.overhead.enabled");
+    benchmark::ClobberMemory();
+  }
+  obs::Telemetry::SetCollectionEnabled(prev);
+#if !defined(SAGDFN_DISABLE_TELEMETRY)
+  SAGDFN_CHECK_GT(
+      obs::Telemetry::Global().timer("bench.overhead.enabled").count, 0);
+#endif
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
 }  // namespace
 }  // namespace sagdfn
 
@@ -283,7 +321,21 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
     return 1;
   }
+  // Collect scoped-timer stats from the instrumented kernels (sns/ssma/
+  // gconv/encoder/decoder) across the whole run; the overhead benches
+  // toggle collection themselves and restore this state.
+  sagdfn::obs::Telemetry::SetCollectionEnabled(true);
   benchmark::RunSpecifiedBenchmarks();
+  sagdfn::obs::Telemetry::SetCollectionEnabled(false);
+  const sagdfn::utils::Status cost_status =
+      sagdfn::obs::Telemetry::Global().WriteRegistryJson(
+          "BENCH_micro_ops_cost.json", "micro_ops");
+  if (cost_status.ok()) {
+    std::cerr << "[obs ] per-kernel cost breakdown written to "
+                 "BENCH_micro_ops_cost.json\n";
+  } else {
+    std::cerr << "[obs ] " << cost_status.ToString() << "\n";
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   }
   bench::PrintHeader(
       "Table X: computation cost on CARPARK1918 (simulated)", config);
+  // Mirrors the printed table as machine-readable JSON
+  // (BENCH_table10_cost.json) plus per-kernel scoped-timer aggregates.
+  bench::BenchTelemetry telemetry("table10_cost");
 
   data::ForecastDataset dataset =
       bench::LoadDataset("carpark1918-sim", config);

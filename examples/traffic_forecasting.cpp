@@ -18,6 +18,7 @@
 #include "core/trainer.h"
 #include "data/registry.h"
 #include "metrics/metrics.h"
+#include "obs/telemetry.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
@@ -102,6 +103,11 @@ int main(int argc, char** argv) {
             << dataset.series().num_steps() << " five-minute-class steps\n"
             << "task: " << dataset.spec().history << " steps in -> "
             << dataset.spec().horizon << " steps out\n\n";
+
+  if (obs::Telemetry::Global().sink_open()) {
+    std::cout << "telemetry: appending JSONL events to "
+              << obs::Telemetry::Global().sink_path() << "\n\n";
+  }
 
   const std::string ckpt_dir = cli.GetString("ckpt_dir", "");
   if (!ckpt_dir.empty()) {

@@ -1,6 +1,7 @@
 #include "core/fast_gconv.h"
 
 #include "nn/init.h"
+#include "obs/telemetry.h"
 #include "utils/check.h"
 
 namespace sagdfn::core {
@@ -33,6 +34,7 @@ ag::Variable FastGraphConv::Forward(const ag::Variable& a_s,
                                     const std::vector<int64_t>& index_set,
                                     const ag::Variable& x,
                                     const ag::Variable* inv_deg) const {
+  SAGDFN_SCOPED_TIMER("gconv.forward");
   SAGDFN_CHECK_EQ(x.shape().ndim(), 3);
   SAGDFN_CHECK_EQ(x.dim(2), in_dim_);
   const int64_t n = x.dim(1);

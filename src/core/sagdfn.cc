@@ -2,6 +2,7 @@
 #include <algorithm>
 
 
+#include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
 #include "utils/check.h"
 
@@ -147,6 +148,7 @@ void SagdfnModel::SyncIndexState() {
 }
 
 ag::Variable SagdfnModel::Adjacency() {
+  SAGDFN_SCOPED_TIMER("sagdfn.adjacency");
   if (config_.use_attention) {
     return attention_->Forward(embeddings_, index_set_);
   }
@@ -184,13 +186,17 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
     hidden[layer] = cells_[layer]->InitialState(b, n);
   }
   ag::Variable step;
-  for (int64_t t = 0; t < h; ++t) {
-    step = ag::Reshape(ag::Slice(x_var, 1, t, t + 1), {b, n, c});
-    ag::Variable layer_input = step;
-    for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
-      hidden[layer] = cells_[layer]->Forward(a_s, index_set_, layer_input,
-                                             hidden[layer], &inv_deg);
-      layer_input = hidden[layer];
+  {
+    SAGDFN_SCOPED_TIMER("sagdfn.encoder");
+    for (int64_t t = 0; t < h; ++t) {
+      step = ag::Reshape(ag::Slice(x_var, 1, t, t + 1), {b, n, c});
+      ag::Variable layer_input = step;
+      for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
+        hidden[layer] = cells_[layer]->Forward(a_s, index_set_,
+                                               layer_input, hidden[layer],
+                                               &inv_deg);
+        layer_input = hidden[layer];
+      }
     }
   }
 
@@ -204,6 +210,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
   if (c > 2) extra_covariates = ag::Slice(step, 2, 2, c).Detach();
   std::vector<ag::Variable> predictions;
   predictions.reserve(f);
+  SAGDFN_SCOPED_TIMER("sagdfn.decoder");
   for (int64_t t = 0; t < f; ++t) {
     ag::Variable layer_input = dec_input;
     for (int64_t layer = 0; layer < config_.num_layers; ++layer) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/telemetry.h"
 #include "utils/check.h"
 
 namespace sagdfn::core {
@@ -22,6 +23,7 @@ SignificantNeighborSampler::SignificantNeighborSampler(int64_t num_nodes,
 
 std::vector<int64_t> SignificantNeighborSampler::Sample(
     const tensor::Tensor& embeddings, bool explore) {
+  SAGDFN_SCOPED_TIMER("sns.sample");
   SAGDFN_CHECK_EQ(embeddings.ndim(), 2);
   SAGDFN_CHECK_EQ(embeddings.dim(0), num_nodes_);
   const int64_t d = embeddings.dim(1);

@@ -1,6 +1,7 @@
 #include "core/ssma.h"
 
 #include "nn/init.h"
+#include "obs/telemetry.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 
@@ -31,6 +32,7 @@ SparseSpatialAttention::SparseSpatialAttention(const SsmaConfig& config,
 ag::Variable SparseSpatialAttention::Forward(
     const ag::Variable& embeddings,
     const std::vector<int64_t>& index_set) const {
+  SAGDFN_SCOPED_TIMER("ssma.forward");
   const int64_t n = embeddings.dim(0);
   const int64_t d = embeddings.dim(1);
   const int64_t m = static_cast<int64_t>(index_set.size());

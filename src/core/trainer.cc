@@ -9,6 +9,7 @@
 
 #include "autograd/ops.h"
 #include "nn/serialization.h"
+#include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
 #include "utils/check.h"
 #include "utils/fault.h"
@@ -147,6 +148,20 @@ void Trainer::RotateCheckpoints() {
 
 utils::Status Trainer::SaveTrainerCheckpoint(const std::string& path,
                                              int64_t completed_epochs) {
+  utils::Stopwatch watch;
+  utils::Status status = DoSaveTrainerCheckpoint(path, completed_epochs);
+  obs::Telemetry::Global().Emit(obs::Event("ckpt.save")
+                                    .Str("path", path)
+                                    .Int("epoch", completed_epochs)
+                                    .Double("seconds",
+                                            watch.ElapsedSeconds())
+                                    .Bool("ok", status.ok()));
+  return status;
+}
+
+utils::Status Trainer::DoSaveTrainerCheckpoint(const std::string& path,
+                                               int64_t completed_epochs) {
+  SAGDFN_SCOPED_TIMER("trainer.ckpt_save");
   EnsureOptimizer();
   nn::Checkpoint ckpt;
   for (const auto& [name, var] : model_->NamedParameters()) {
@@ -180,6 +195,22 @@ utils::Status Trainer::SaveTrainerCheckpoint(const std::string& path,
 
 utils::Status Trainer::RestoreTrainerCheckpoint(const std::string& path,
                                                 bool rollback) {
+  utils::Stopwatch watch;
+  utils::Status status = DoRestoreTrainerCheckpoint(path);
+  obs::Telemetry::Global().Emit(obs::Event("ckpt.load")
+                                    .Str("path", path)
+                                    .Bool("rollback", rollback)
+                                    .Double("seconds",
+                                            watch.ElapsedSeconds())
+                                    .Bool("ok", status.ok()));
+  if (status.ok() && !rollback) {
+    rollbacks_ = restored_rollbacks_;
+  }
+  return status;
+}
+
+utils::Status Trainer::DoRestoreTrainerCheckpoint(const std::string& path) {
+  SAGDFN_SCOPED_TIMER("trainer.ckpt_load");
   nn::Checkpoint ckpt;
   SAGDFN_RETURN_IF_ERROR(nn::LoadCheckpoint(&ckpt, path));
   SAGDFN_RETURN_IF_ERROR(
@@ -260,7 +291,9 @@ utils::Status Trainer::RestoreTrainerCheckpoint(const std::string& path,
   optimizer_->set_lr(BitsToDouble(lr_bits));
   best_val_ = BitsToDouble(best_val_bits);
   bad_epochs_ = static_cast<int64_t>(bad_epochs);
-  if (!rollback) rollbacks_ = static_cast<int64_t>(rollbacks);
+  // On a resume the saved rollback count is adopted; a rollback keeps the
+  // live count (the caller applies this distinction).
+  restored_rollbacks_ = static_cast<int64_t>(rollbacks);
   return utils::Status::Ok();
 }
 
@@ -306,6 +339,13 @@ bool Trainer::TryRollback(TrainResult* result) {
   const double lr = std::min(lr_before, optimizer_->lr()) *
                     options_.backoff_factor;
   optimizer_->set_lr(lr);
+  obs::Telemetry::Global().AddCounter("fault.rollbacks");
+  obs::Telemetry::Global().Emit(obs::Event("fault.rollback")
+                                    .Str("checkpoint", last_good_ckpt_)
+                                    .Double("lr", lr)
+                                    .Int("rollback", rollbacks_)
+                                    .Int("max_rollbacks",
+                                         options_.max_rollbacks));
   SAGDFN_LOG(Warning) << "rolled back to "
                       << (last_good_ckpt_.empty()
                               ? "current weights (no checkpoint available)"
@@ -318,6 +358,7 @@ bool Trainer::TryRollback(TrainResult* result) {
 Trainer::EpochOutcome Trainer::RunTrainEpoch(int64_t epoch,
                                              TrainResult* result) {
   (void)epoch;
+  SAGDFN_SCOPED_TIMER("trainer.train_epoch");
   utils::FaultInjector& injector = utils::FaultInjector::Global();
   model_->SetTraining(true);
   std::vector<int64_t> order = dataset_->ShuffledTrainOrder(rng_);
@@ -377,6 +418,7 @@ Trainer::EpochOutcome Trainer::RunTrainEpoch(int64_t epoch,
       const double norm =
           optim::ClipGradNorm(optimizer_->params(), options_.grad_clip);
       if (std::isfinite(norm)) {
+        last_grad_norm_ = norm;
         optimizer_->Step();
       } else {
         poisoned = true;
@@ -388,6 +430,12 @@ Trainer::EpochOutcome Trainer::RunTrainEpoch(int64_t epoch,
       model_->ZeroGrad();
       ++result->skipped_batches;
       ++consecutive_skips_;
+      obs::Telemetry::Global().AddCounter("fault.skipped_batches");
+      obs::Telemetry::Global().Emit(
+          obs::Event("fault.skipped_batch")
+              .Int("iteration", iteration_ - 1)
+              .Int("consecutive", consecutive_skips_)
+              .Int("max_consecutive", options_.max_consecutive_skips));
       SAGDFN_LOG(Warning) << model_->name()
                           << ": non-finite loss/gradient at iteration "
                           << (iteration_ - 1) << ", skipping batch ("
@@ -491,6 +539,8 @@ TrainResult Trainer::Train() {
 
   int64_t epoch = next_epoch_;
   while (epoch < options_.epochs) {
+    utils::Stopwatch epoch_watch;
+    const int64_t skips_before = result.skipped_batches;
     if (RunTrainEpoch(epoch, &result) == EpochOutcome::kFaultStorm) {
       if (!TryRollback(&result)) break;
       // Drop any epochs recorded past the restored checkpoint; they will
@@ -506,10 +556,12 @@ TrainResult Trainer::Train() {
       continue;
     }
 
-    // Validation MAE in original units.
+    // Validation metrics in original units: one Evaluate() pass instead
+    // of a full tensor scan per metric.
     tensor::Tensor val_pred = Predict(data::Split::kValidation);
     tensor::Tensor val_truth = Truth(data::Split::kValidation);
-    const double val_mae = metrics::MaskedMae(val_pred, val_truth);
+    const metrics::Scores val = metrics::Evaluate(val_pred, val_truth);
+    const double val_mae = val.mae;
     result.epoch_val_mae.push_back(val_mae);
     result.epochs_run = static_cast<int64_t>(result.epoch_val_mae.size());
 
@@ -519,8 +571,29 @@ TrainResult Trainer::Train() {
                        << " val_mae=" << val_mae;
     }
 
+    obs::Telemetry::Global().Emit(
+        obs::Event("train.epoch")
+            .Str("model", model_->name())
+            .Int("epoch", epoch)
+            .Double("train_loss", result.epoch_train_loss.back())
+            .Double("val_mae", val.mae)
+            .Double("val_rmse", val.rmse)
+            .Double("val_mape", val.mape)
+            .Double("lr", optimizer_->lr())
+            .Double("grad_norm", last_grad_norm_)
+            .Int("skipped_batches",
+                 result.skipped_batches - skips_before)
+            .Double("seconds", epoch_watch.ElapsedSeconds()));
+
     bool stop = false;
-    if (val_mae < best_val_ - 1e-9) {
+    if (!val.IsSignal()) {
+      // Every validation entry was masked: no signal. Neither a new best
+      // nor a bad epoch — patience only counts real regressions.
+      SAGDFN_LOG(Warning)
+          << model_->name() << " epoch " << epoch
+          << ": validation window is fully masked (val_mae=NaN); "
+          << "skipping best-model/early-stopping bookkeeping";
+    } else if (val_mae < best_val_ - 1e-9) {
       best_val_ = val_mae;
       bad_epochs_ = 0;
       // Snapshot the best-validation weights (restored after training,
@@ -577,6 +650,17 @@ TrainResult Trainer::Train() {
   result.seconds_per_epoch =
       result.epochs_run > 0 ? result.total_seconds / result.epochs_run : 0.0;
   result.best_val_mae = best_val_;
+  obs::Telemetry::Global().Emit(
+      obs::Event("train.done")
+          .Str("model", model_->name())
+          .Int("epochs_run", result.epochs_run)
+          .Double("total_seconds", result.total_seconds)
+          .Double("best_val_mae", result.best_val_mae)
+          .Int("skipped_batches", result.skipped_batches)
+          .Int("rollbacks", result.rollbacks)
+          .Int("checkpoint_failures", result.checkpoint_failures)
+          .Bool("ok", result.status.ok()));
+  obs::Telemetry::Global().EmitSnapshot("train.done");
   return result;
 }
 
@@ -590,6 +674,7 @@ int64_t Trainer::EvalWindowCount(data::Split split) const {
 }
 
 tensor::Tensor Trainer::Predict(data::Split split) {
+  SAGDFN_SCOPED_TIMER("trainer.predict");
   ag::NoGradGuard guard;
   model_->SetTraining(false);
   const int64_t windows = EvalWindowCount(split);

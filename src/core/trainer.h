@@ -152,11 +152,16 @@ class Trainer {
   bool TryRollback(TrainResult* result);
 
   /// Full-state checkpoint I/O (model + optim + trainer meta sections).
+  /// The Save/Restore wrappers time the I/O and emit ckpt.save/ckpt.load
+  /// telemetry records around the Do* workers.
   std::string EpochCheckpointPath(int64_t completed_epochs) const;
   utils::Status SaveTrainerCheckpoint(const std::string& path,
                                       int64_t completed_epochs);
+  utils::Status DoSaveTrainerCheckpoint(const std::string& path,
+                                        int64_t completed_epochs);
   utils::Status RestoreTrainerCheckpoint(const std::string& path,
                                          bool rollback);
+  utils::Status DoRestoreTrainerCheckpoint(const std::string& path);
   /// Deletes epoch checkpoints beyond keep_last_k (best.ckpt exempt).
   void RotateCheckpoints();
 
@@ -184,6 +189,11 @@ class Trainer {
 
   int64_t consecutive_skips_ = 0;
   int64_t rollbacks_ = 0;
+  /// Rollback count read from the last restored checkpoint (adopted on
+  /// resume, ignored on rollback).
+  int64_t restored_rollbacks_ = 0;
+  /// Last finite clipped gradient norm (reported per epoch by telemetry).
+  double last_grad_norm_ = 0.0;
   /// Path of the newest successfully written epoch checkpoint.
   std::string last_good_ckpt_;
   bool resumed_ = false;

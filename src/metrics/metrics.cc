@@ -1,41 +1,91 @@
 #include "metrics/metrics.h"
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "tensor/tensor_ops.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 #include "utils/string_util.h"
 
 namespace sagdfn::metrics {
 namespace {
 
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
 /// Accumulates |err|, err^2, |err|/|truth| over non-missing entries.
+/// MAPE keeps its own count: entries with 0 < |truth| < kMapeTruthFloor
+/// still score MAE/RMSE but are excluded from the percentage error, so a
+/// near-zero reading cannot blow the ratio up by orders of magnitude.
 struct Accumulator {
   double abs = 0.0;
   double sq = 0.0;
   double ape = 0.0;
   int64_t count = 0;
+  int64_t ape_count = 0;
+
+  void Merge(const Accumulator& other) {
+    abs += other.abs;
+    sq += other.sq;
+    ape += other.ape;
+    count += other.count;
+    ape_count += other.ape_count;
+  }
 };
 
 Accumulator Accumulate(const tensor::Tensor& pred,
                        const tensor::Tensor& truth) {
   SAGDFN_CHECK(pred.shape() == truth.shape())
       << pred.shape().ToString() << " vs " << truth.shape().ToString();
-  Accumulator acc;
   const float* pp = pred.data();
   const float* pt = truth.data();
-  for (int64_t i = 0; i < pred.size(); ++i) {
-    if (pt[i] == 0.0f) continue;  // missing-reading convention
-    const double err = static_cast<double>(pp[i]) - pt[i];
-    acc.abs += std::fabs(err);
-    acc.sq += err * err;
-    acc.ape += std::fabs(err) / std::fabs(pt[i]);
-    ++acc.count;
-  }
-  return acc;
+  const int64_t size = pred.size();
+
+  // Deterministic parallel reduction: fixed-size blocks (independent of
+  // the thread count) accumulated sequentially inside, then combined in
+  // block order — bit-identical for any pool size (see utils/parallel.h).
+  const int64_t block = utils::kReduceBlock;
+  const int64_t num_blocks = (size + block - 1) / block;
+  std::vector<Accumulator> partials(num_blocks);
+  utils::ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      Accumulator acc;
+      const int64_t end = std::min(size, (b + 1) * block);
+      for (int64_t i = b * block; i < end; ++i) {
+        if (pt[i] == 0.0f) continue;  // missing-reading convention
+        const double truth_i = pt[i];
+        const double err = static_cast<double>(pp[i]) - truth_i;
+        acc.abs += std::fabs(err);
+        acc.sq += err * err;
+        if (std::fabs(truth_i) >= kMapeTruthFloor) {
+          acc.ape += std::fabs(err) / std::fabs(truth_i);
+          ++acc.ape_count;
+        }
+        ++acc.count;
+      }
+      partials[b] = acc;
+    }
+  });
+
+  Accumulator total;
+  for (const Accumulator& acc : partials) total.Merge(acc);
+  return total;
+}
+
+Scores ScoresOf(const Accumulator& acc) {
+  Scores s;
+  s.mae = acc.count > 0 ? acc.abs / acc.count : kNan;
+  s.rmse = acc.count > 0 ? std::sqrt(acc.sq / acc.count) : kNan;
+  s.mape = acc.ape_count > 0 ? acc.ape / acc.ape_count : kNan;
+  return s;
 }
 
 }  // namespace
+
+bool Scores::IsSignal() const {
+  return std::isfinite(mae) && std::isfinite(rmse);
+}
 
 std::string Scores::ToString() const {
   return utils::FormatDouble(mae, 2) + " " + utils::FormatDouble(rmse, 2) +
@@ -43,29 +93,19 @@ std::string Scores::ToString() const {
 }
 
 double MaskedMae(const tensor::Tensor& pred, const tensor::Tensor& truth) {
-  Accumulator acc = Accumulate(pred, truth);
-  return acc.count > 0 ? acc.abs / acc.count : 0.0;
+  return Evaluate(pred, truth).mae;
 }
 
 double MaskedRmse(const tensor::Tensor& pred, const tensor::Tensor& truth) {
-  Accumulator acc = Accumulate(pred, truth);
-  return acc.count > 0 ? std::sqrt(acc.sq / acc.count) : 0.0;
+  return Evaluate(pred, truth).rmse;
 }
 
 double MaskedMape(const tensor::Tensor& pred, const tensor::Tensor& truth) {
-  Accumulator acc = Accumulate(pred, truth);
-  return acc.count > 0 ? acc.ape / acc.count : 0.0;
+  return Evaluate(pred, truth).mape;
 }
 
 Scores Evaluate(const tensor::Tensor& pred, const tensor::Tensor& truth) {
-  Accumulator acc = Accumulate(pred, truth);
-  Scores s;
-  if (acc.count > 0) {
-    s.mae = acc.abs / acc.count;
-    s.rmse = std::sqrt(acc.sq / acc.count);
-    s.mape = acc.ape / acc.count;
-  }
-  return s;
+  return ScoresOf(Accumulate(pred, truth));
 }
 
 std::vector<Scores> EvaluateHorizons(const tensor::Tensor& pred,

@@ -9,28 +9,52 @@
 
 namespace sagdfn::metrics {
 
+/// Readings with 0 < |truth| below this floor are excluded from MAPE (but
+/// still score MAE/RMSE): dividing by a near-zero truth would report
+/// million-percent errors that say nothing about forecast quality. The
+/// value is far below any physical reading in the paper's datasets
+/// (speeds in km/h, occupancy counts) yet far above float noise.
+inline constexpr double kMapeTruthFloor = 1e-3;
+
 /// The paper's three evaluation metrics at one horizon.
+///
+/// NaN contract: when every entry of a window is masked (truth == 0, the
+/// METR-LA missing-reading convention) there is no signal to score, and
+/// each affected metric is NaN — never 0.0, which would read as a perfect
+/// forecast. MAPE is additionally NaN when every unmasked truth is below
+/// kMapeTruthFloor. Consumers (Trainer early stopping, benches) must
+/// treat NaN as "no signal", not as an improvement.
 struct Scores {
   double mae = 0.0;
   double rmse = 0.0;
   /// Fraction (not percent); multiply by 100 for the paper's format.
   double mape = 0.0;
 
+  /// True when MAE/RMSE carry signal (at least one unmasked entry).
+  bool IsSignal() const;
+
   /// "MAE RMSE MAPE%" with the paper's typical precision.
   std::string ToString() const;
 };
 
 /// Masked MAE: mean |pred - truth| over entries where truth != 0 (the
-/// METR-LA convention treating 0 as a missing reading).
+/// METR-LA convention treating 0 as a missing reading); NaN when every
+/// entry is masked.
+///
+/// Each of the three single-metric helpers runs the same full Evaluate()
+/// pass — callers needing more than one metric should call Evaluate()
+/// once instead of paying the scan per metric.
 double MaskedMae(const tensor::Tensor& pred, const tensor::Tensor& truth);
 
-/// Masked RMSE.
+/// Masked RMSE; NaN when every entry is masked.
 double MaskedRmse(const tensor::Tensor& pred, const tensor::Tensor& truth);
 
-/// Masked MAPE (fraction).
+/// Masked MAPE (fraction); NaN when no entry has |truth| >=
+/// kMapeTruthFloor.
 double MaskedMape(const tensor::Tensor& pred, const tensor::Tensor& truth);
 
-/// All three at once.
+/// All three at once, in a single parallel pass over the tensors
+/// (deterministic fixed-block reduction; see utils/parallel.h).
 Scores Evaluate(const tensor::Tensor& pred, const tensor::Tensor& truth);
 
 /// Per-horizon evaluation. `pred` and `truth` are [S, f, N] (S evaluation

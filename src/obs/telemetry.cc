@@ -1,0 +1,401 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "utils/logging.h"
+
+namespace sagdfn::obs {
+namespace {
+
+/// Monotonic epoch shared by every "ts" field; anchored at first use.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+int BucketOf(int64_t nanos) {
+  const int64_t micros = nanos / 1000;
+  int b = 0;
+  while (b + 1 < kTimerBuckets && micros >= (int64_t{1} << (b + 1))) ++b;
+  return b;
+}
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void TimerStats::Merge(const TimerStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  total_seconds += other.total_seconds;
+  min_seconds = std::min(min_seconds, other.min_seconds);
+  max_seconds = std::max(max_seconds, other.max_seconds);
+  for (int i = 0; i < kTimerBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+// -- Event --------------------------------------------------------------
+
+Event::Event(std::string_view type) : type_(type) {}
+
+Event& Event::Str(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key),
+                       "\"" + EscapeJson(value) + "\"");
+  return *this;
+}
+
+Event& Event::Int(std::string_view key, int64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+Event& Event::Double(std::string_view key, double value) {
+  fields_.emplace_back(std::string(key), JsonNumber(value));
+  return *this;
+}
+
+Event& Event::Bool(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+std::string Event::ToJson() const {
+  std::string out = "{\"ts\":" + JsonNumber(Telemetry::NowSeconds()) +
+                    ",\"event\":\"" + EscapeJson(type_) + "\"";
+  for (const auto& [key, value] : fields_) {
+    out += ",\"" + EscapeJson(key) + "\":" + value;
+  }
+  out += "}";
+  return out;
+}
+
+// -- TimerSite ----------------------------------------------------------
+
+TimerSite::TimerSite(const char* name) : name_(name) {
+  Telemetry::Global().RegisterSite(this);
+}
+
+TimerSite::~TimerSite() { Telemetry::Global().RetireSite(this); }
+
+void TimerSite::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  AtomicMin(min_nanos_, nanos);
+  AtomicMax(max_nanos_, nanos);
+  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+TimerStats TimerSite::Snapshot() const {
+  TimerStats stats;
+  stats.count = count_.load(std::memory_order_relaxed);
+  if (stats.count == 0) return stats;
+  stats.total_seconds =
+      total_nanos_.load(std::memory_order_relaxed) * 1e-9;
+  stats.min_seconds = min_nanos_.load(std::memory_order_relaxed) * 1e-9;
+  stats.max_seconds = max_nanos_.load(std::memory_order_relaxed) * 1e-9;
+  for (int i = 0; i < kTimerBuckets; ++i) {
+    stats.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+// -- Telemetry ----------------------------------------------------------
+
+std::atomic<bool> Telemetry::collect_{false};
+
+struct Telemetry::Impl {
+  mutable std::mutex mu;
+  std::FILE* sink = nullptr;
+  std::string sink_path;
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<TimerSite*> sites;
+  /// Totals of destroyed TimerSites, keyed by scope name.
+  std::map<std::string, TimerStats> retired;
+};
+
+Telemetry::Telemetry() : impl_(new Impl) {}
+
+Telemetry& Telemetry::Global() {
+  static Telemetry* instance = [] {
+    ProcessEpoch();  // anchor ts=0 at first telemetry touch
+    auto* t = new Telemetry();
+    if (const char* path = std::getenv("SAGDFN_TELEMETRY");
+        path != nullptr && path[0] != '\0') {
+      utils::Status status = t->Configure(path);
+      if (!status.ok()) {
+        SAGDFN_LOG(Warning) << "SAGDFN_TELEMETRY: " << status.ToString()
+                            << "; telemetry sink disabled";
+      }
+    }
+    return t;
+  }();
+  return *instance;
+}
+
+double Telemetry::NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessEpoch())
+      .count();
+}
+
+utils::Status Telemetry::Configure(const std::string& jsonl_path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->sink != nullptr) {
+    std::fclose(impl_->sink);
+    impl_->sink = nullptr;
+    impl_->sink_path.clear();
+  }
+  if (jsonl_path.empty()) return utils::Status::Ok();
+  std::FILE* f = std::fopen(jsonl_path.c_str(), "a");
+  if (f == nullptr) {
+    return utils::Status::NotFound("cannot open telemetry sink " +
+                                  jsonl_path);
+  }
+  impl_->sink = f;
+  impl_->sink_path = jsonl_path;
+  SetCollectionEnabled(true);
+  const std::string line =
+      Event("run.start").Str("sink", jsonl_path).ToJson();
+  std::fputs(line.c_str(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+  return utils::Status::Ok();
+}
+
+bool Telemetry::sink_open() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->sink != nullptr;
+}
+
+std::string Telemetry::sink_path() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->sink_path;
+}
+
+void Telemetry::Emit(const Event& event) {
+  const std::string line = event.ToJson();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->sink == nullptr) return;
+  std::fputs(line.c_str(), impl_->sink);
+  std::fputc('\n', impl_->sink);
+  std::fflush(impl_->sink);
+}
+
+void Telemetry::AddCounter(std::string_view name, int64_t delta) {
+  if (!CollectionEnabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters[std::string(name)] += delta;
+}
+
+void Telemetry::SetGauge(std::string_view name, double value) {
+  if (!CollectionEnabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->gauges[std::string(name)] = value;
+}
+
+void Telemetry::RecordDuration(std::string_view name, double seconds) {
+  if (!CollectionEnabled()) return;
+  TimerStats one;
+  one.count = 1;
+  one.total_seconds = seconds;
+  one.min_seconds = seconds;
+  one.max_seconds = seconds;
+  one.buckets[BucketOf(static_cast<int64_t>(seconds * 1e9))] = 1;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->retired[std::string(name)].Merge(one);
+}
+
+int64_t Telemetry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  return it != impl_->counters.end() ? it->second : 0;
+}
+
+double Telemetry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  return it != impl_->gauges.end() ? it->second : 0.0;
+}
+
+TimerStats Telemetry::timer(const std::string& name) const {
+  TimerStats stats;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->retired.find(name);
+  if (it != impl_->retired.end()) stats.Merge(it->second);
+  for (TimerSite* site : impl_->sites) {
+    if (name == site->name()) stats.Merge(site->Snapshot());
+  }
+  return stats;
+}
+
+std::vector<std::pair<std::string, int64_t>> Telemetry::counters() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->counters.begin(), impl_->counters.end()};
+}
+
+std::vector<std::pair<std::string, double>> Telemetry::gauges() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->gauges.begin(), impl_->gauges.end()};
+}
+
+std::vector<std::pair<std::string, TimerStats>> Telemetry::timers() const {
+  std::map<std::string, TimerStats> merged;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    merged = impl_->retired;
+    for (TimerSite* site : impl_->sites) {
+      merged[site->name()].Merge(site->Snapshot());
+    }
+  }
+  std::vector<std::pair<std::string, TimerStats>> out;
+  out.reserve(merged.size());
+  for (auto& [name, stats] : merged) {
+    if (stats.count > 0) out.emplace_back(name, stats);
+  }
+  return out;
+}
+
+void Telemetry::EmitSnapshot(std::string_view label) {
+  Event event("timers.snapshot");
+  event.Str("label", label);
+  for (const auto& [name, stats] : timers()) {
+    event.Int(std::string(name) + ".count", stats.count)
+        .Double(std::string(name) + ".total_s", stats.total_seconds)
+        .Double(std::string(name) + ".mean_s", stats.mean_seconds())
+        .Double(std::string(name) + ".min_s", stats.min_seconds)
+        .Double(std::string(name) + ".max_s", stats.max_seconds);
+  }
+  for (const auto& [name, value] : counters()) event.Int(name, value);
+  for (const auto& [name, value] : gauges()) event.Double(name, value);
+  Emit(event);
+}
+
+utils::Status Telemetry::WriteRegistryJson(const std::string& path,
+                                           std::string_view title) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return utils::Status::NotFound("cannot write registry json " + path);
+  }
+  std::string out = "{\n  \"title\": \"" + EscapeJson(title) + "\",\n";
+  out += "  \"timers\": {\n";
+  const auto timer_list = timers();
+  for (size_t i = 0; i < timer_list.size(); ++i) {
+    const auto& [name, stats] = timer_list[i];
+    out += "    \"" + EscapeJson(name) + "\": {\"count\": " +
+           std::to_string(stats.count) +
+           ", \"total_s\": " + JsonNumber(stats.total_seconds) +
+           ", \"mean_s\": " + JsonNumber(stats.mean_seconds()) +
+           ", \"min_s\": " + JsonNumber(stats.min_seconds) +
+           ", \"max_s\": " + JsonNumber(stats.max_seconds) + "}";
+    out += i + 1 < timer_list.size() ? ",\n" : "\n";
+  }
+  out += "  },\n  \"counters\": {\n";
+  const auto counter_list = counters();
+  for (size_t i = 0; i < counter_list.size(); ++i) {
+    out += "    \"" + EscapeJson(counter_list[i].first) +
+           "\": " + std::to_string(counter_list[i].second);
+    out += i + 1 < counter_list.size() ? ",\n" : "\n";
+  }
+  out += "  },\n  \"gauges\": {\n";
+  const auto gauge_list = gauges();
+  for (size_t i = 0; i < gauge_list.size(); ++i) {
+    out += "    \"" + EscapeJson(gauge_list[i].first) +
+           "\": " + JsonNumber(gauge_list[i].second);
+    out += i + 1 < gauge_list.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  const bool ok = std::fputs(out.c_str(), f) >= 0;
+  std::fclose(f);
+  if (!ok) return utils::Status::NotFound("short write to " + path);
+  return utils::Status::Ok();
+}
+
+void Telemetry::ResetRegistry() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->retired.clear();
+  // Live sites cannot be zeroed race-free from here; fold them into a
+  // baseline would complicate snapshots, so tests simply read deltas or
+  // use fresh scope names. Retired totals and counters do reset.
+}
+
+void Telemetry::RegisterSite(TimerSite* site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sites.push_back(site);
+}
+
+void Telemetry::RetireSite(TimerSite* site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = std::find(impl_->sites.begin(), impl_->sites.end(), site);
+  if (it != impl_->sites.end()) impl_->sites.erase(it);
+  impl_->retired[site->name()].Merge(site->Snapshot());
+}
+
+}  // namespace sagdfn::obs

@@ -1,6 +1,7 @@
 #include "core/entmax.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -153,6 +154,62 @@ TEST(EntmaxTest, GradientSumsToZero) {
   float total = 0.0f;
   for (int64_t i = 0; i < 6; ++i) total += v.grad()[i];
   EXPECT_NEAR(total, 0.0f, 1e-4f);
+}
+
+TEST(EntmaxTest, BackwardStridedAxis3d) {
+  // axis=1 of a rank-3 tensor: the AxisView walks strided (non-contiguous)
+  // vectors — the layout SSMA uses when sparsifying [N, M, 2] scores
+  // along M. Covers both a mid-range alpha and one just above the
+  // softmax-fallback boundary (alpha - 1 >= 1e-4, entmax.cc's
+  // kSoftmaxEpsilon), where the bisection exponent 1/(alpha-1) is large.
+  utils::Rng rng(9);
+  for (float alpha : {1.7f, 1.01f}) {
+    Tensor z = Tensor::Normal(Shape({2, 4, 3}), rng, 0.0f, 0.8f);
+    Tensor w = Tensor::Normal(Shape({2, 4, 3}), rng);
+    std::string error;
+    EXPECT_TRUE(ag::CheckGradients(
+        [&](const std::vector<ag::Variable>& v) {
+          return ag::SumAll(
+              ag::Mul(Entmax(v[0], alpha, 1), ag::Variable(w)));
+        },
+        {z}, &error))
+        << "alpha=" << alpha << ": " << error;
+  }
+}
+
+TEST(EntmaxTest, SoftmaxBoundaryContinuity) {
+  // alpha within kSoftmaxEpsilon (1e-4) of 1.0 short-circuits to the
+  // closed-form softmax; just above it the bisection solver takes over.
+  // The two paths must agree at the boundary (entmax is continuous in
+  // alpha) and the bisection output must still be a simplex.
+  utils::Rng rng(10);
+  Tensor z = Tensor::Normal(Shape({3, 4, 5}), rng);
+  Tensor s = tensor::Softmax(z, 1);
+  Tensor inside = EntmaxForward(z, 1.0f + 0.5e-4f, 1);  // fast path
+  EXPECT_TRUE(tensor::AllClose(inside, s, 1e-6f, 1e-6f));
+  Tensor above = EntmaxForward(z, 1.0f + 4e-4f, 1);  // bisection path
+  ExpectSimplex(above, 1);
+  EXPECT_LT(tensor::MaxAll(tensor::Abs(tensor::Sub(above, s))), 5e-3f);
+}
+
+// Property: EntmaxForward lands on the probability simplex for random
+// shapes, every axis, across the alpha range — including the strided
+// (axis != last) paths on rank-3/4 tensors.
+TEST(EntmaxTest, SimplexOnRandomShapesAllAxes) {
+  utils::Rng rng(11);
+  const std::vector<Shape> shapes = {Shape({7}), Shape({4, 6}),
+                                     Shape({3, 5, 4}),
+                                     Shape({2, 3, 4, 3})};
+  for (const Shape& shape : shapes) {
+    Tensor z = Tensor::Normal(shape, rng, 0.0f, 1.5f);
+    for (int64_t axis = 0; axis < shape.ndim(); ++axis) {
+      for (float alpha : {1.2f, 1.5f, 2.0f, 3.0f}) {
+        Tensor p = EntmaxForward(z, alpha, axis);
+        ExpectSimplex(p, axis);
+        EXPECT_FALSE(tensor::HasNonFinite(p));
+      }
+    }
+  }
 }
 
 TEST(EntmaxTest, InvalidAlphaDies) {

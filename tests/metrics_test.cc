@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "tensor/tensor_ops.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 
 namespace sagdfn::metrics {
@@ -37,11 +38,48 @@ TEST(MetricsTest, ZeroTruthMasked) {
   EXPECT_DOUBLE_EQ(MaskedMape(pred, truth), 1.0);
 }
 
-TEST(MetricsTest, AllMaskedReturnsZero) {
+TEST(MetricsTest, AllMaskedReturnsNan) {
+  // Every truth is 0 (missing reading) -> there is nothing to score, and
+  // reporting 0.0 would claim a perfect forecast. The contract is NaN.
   Tensor pred = Tensor::FromVector({5, 5}, Shape({2}));
   Tensor truth = Tensor::Zeros(Shape({2}));
   Scores s = Evaluate(pred, truth);
-  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_TRUE(std::isnan(s.mae));
+  EXPECT_TRUE(std::isnan(s.rmse));
+  EXPECT_TRUE(std::isnan(s.mape));
+  EXPECT_FALSE(s.IsSignal());
+  EXPECT_TRUE(std::isnan(MaskedMae(pred, truth)));
+  EXPECT_TRUE(std::isnan(MaskedRmse(pred, truth)));
+  EXPECT_TRUE(std::isnan(MaskedMape(pred, truth)));
+}
+
+TEST(MetricsTest, IsSignalWithAnyUnmaskedEntry) {
+  Tensor pred = Tensor::FromVector({5, 5}, Shape({2}));
+  Tensor truth = Tensor::FromVector({0, 4}, Shape({2}));
+  Scores s = Evaluate(pred, truth);
+  EXPECT_TRUE(s.IsSignal());
+  EXPECT_DOUBLE_EQ(s.mae, 1.0);
+}
+
+TEST(MetricsTest, TinyTruthExcludedFromMapeOnly) {
+  // |truth| = 1e-6 is unmasked (counts for MAE/RMSE) but below
+  // kMapeTruthFloor, so MAPE ignores it instead of reporting a
+  // million-percent error.
+  Tensor pred = Tensor::FromVector({1e-6f, 11}, Shape({2}));
+  Tensor truth = Tensor::FromVector({2e-6f, 10}, Shape({2}));
+  Scores s = Evaluate(pred, truth);
+  EXPECT_NEAR(s.mae, (1e-6 + 1.0) / 2, 1e-7);
+  EXPECT_NEAR(s.mape, 0.1, 1e-6);  // only the truth=10 entry
+  EXPECT_LT(s.mape, 1.0);          // regression: no 50%-error blowup
+}
+
+TEST(MetricsTest, AllTinyTruthsGiveNanMapeButFiniteMae) {
+  Tensor pred = Tensor::FromVector({1e-5f, 2e-5f}, Shape({2}));
+  Tensor truth = Tensor::FromVector({1e-6f, 1e-6f}, Shape({2}));
+  Scores s = Evaluate(pred, truth);
+  EXPECT_TRUE(s.IsSignal());
+  EXPECT_TRUE(std::isfinite(s.mae));
+  EXPECT_TRUE(std::isnan(s.mape));
 }
 
 TEST(MetricsTest, RmseAtLeastMae) {
@@ -89,6 +127,31 @@ TEST_P(MetricScaleProperty, Scaling) {
 
 INSTANTIATE_TEST_SUITE_P(Factors, MetricScaleProperty,
                          ::testing::Values(2.0f, 5.0f, 10.0f));
+
+// The parallel accumulation must be bit-identical across thread counts
+// (fixed-size blocks combined in block order — the repo-wide determinism
+// invariant). Uses > kReduceBlock elements so multiple blocks exist.
+TEST(MetricsTest, ParallelAccumulationIsThreadCountInvariant) {
+  utils::Rng rng(3);
+  const int64_t n = utils::kReduceBlock * 3 + 1234;
+  Tensor pred = Tensor::Uniform(Shape({n}), rng, 0.0f, 100.0f);
+  Tensor truth = Tensor::Uniform(Shape({n}), rng, 0.0f, 100.0f);
+  // Sprinkle masked and sub-floor truths across blocks.
+  float* pt = truth.data();
+  for (int64_t i = 0; i < n; i += 97) pt[i] = 0.0f;
+  for (int64_t i = 1; i < n; i += 131) pt[i] = 1e-5f;
+
+  const int64_t previous = utils::GetNumThreads();
+  utils::SetNumThreads(1);
+  Scores serial = Evaluate(pred, truth);
+  utils::SetNumThreads(3);
+  Scores threaded = Evaluate(pred, truth);
+  utils::SetNumThreads(previous);
+
+  EXPECT_EQ(serial.mae, threaded.mae);
+  EXPECT_EQ(serial.rmse, threaded.rmse);
+  EXPECT_EQ(serial.mape, threaded.mape);
+}
 
 }  // namespace
 }  // namespace sagdfn::metrics

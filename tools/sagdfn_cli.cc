@@ -24,6 +24,7 @@
 #include "data/csv.h"
 #include "data/registry.h"
 #include "nn/serialization.h"
+#include "obs/telemetry.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
@@ -35,6 +36,8 @@ int Usage() {
   std::cerr
       << "usage: sagdfn_cli <generate|info|train|evaluate> [flags]\n"
          "  common flags: --dataset <name> --full --nodes N\n"
+         "                --telemetry <file.jsonl>  (or SAGDFN_TELEMETRY "
+         "env var)\n"
          "  datasets: ";
   for (const auto& name : data::KnownDatasets()) std::cerr << name << " ";
   std::cerr << "\n";
@@ -192,6 +195,17 @@ int Run(int argc, char** argv) {
   if (!KnownDataset(dataset)) {
     std::cerr << "error: unknown dataset '" << dataset << "'\n";
     return Usage();
+  }
+  const std::string telemetry_path = cli.GetString("telemetry", "");
+  if (!telemetry_path.empty()) {
+    utils::Status status =
+        obs::Telemetry::Global().Configure(telemetry_path);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "telemetry: appending JSONL events to " << telemetry_path
+              << "\n";
   }
   if (command == "generate") return Generate(cli, dataset);
   if (command == "info") return Info(cli, dataset);
