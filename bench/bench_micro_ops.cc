@@ -8,6 +8,7 @@
 // your own --benchmark_out= to override.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -17,7 +18,9 @@
 #include "core/sagdfn.h"
 #include "core/sns.h"
 #include "obs/telemetry.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
+#include "utils/arena.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 #include "utils/rng.h"
@@ -263,6 +266,129 @@ BENCHMARK(BM_SagdfnForwardThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// SIMD dispatch A/B: the same raw kernel at an explicitly pinned level.
+// Each (kernel, level) pair also records its per-iteration time into the
+// telemetry registry as "simd.<kernel>.<level>", so the cost JSON written
+// at exit carries the scalar-vs-avx2 pairs that
+// tools/check_bench_regression.py --require-simd-speedup checks (>= 2x on
+// the transcendental kernels, where the vectorized polynomial exp replaces
+// one libm call per element).
+// ---------------------------------------------------------------------------
+
+/// Pins the dispatch level for one benchmark run, restoring the previous
+/// level afterwards. Skips the benchmark when the level is unavailable.
+class SimdLevelScope {
+ public:
+  SimdLevelScope(benchmark::State& state, tensor::simd::Level level)
+      : previous_(tensor::simd::ActiveLevel()) {
+    ok_ = tensor::simd::SetActiveLevel(level);
+    if (!ok_) state.SkipWithError("SIMD level unavailable on this machine");
+  }
+  ~SimdLevelScope() { tensor::simd::SetActiveLevel(previous_); }
+  bool ok() const { return ok_; }
+
+ private:
+  tensor::simd::Level previous_;
+  bool ok_ = false;
+};
+
+constexpr int64_t kSimdBenchLen = 65536;
+
+/// Runs `body(kernels)` per iteration, timing each call and recording the
+/// per-iteration seconds under "simd.<name>.<level>".
+template <typename Body>
+void RunSimdKernelBench(benchmark::State& state, const char* name,
+                        Body&& body) {
+  const auto level = static_cast<tensor::simd::Level>(state.range(0));
+  SimdLevelScope scope(state, level);
+  if (!scope.ok()) return;
+  const tensor::simd::Kernels& kern = tensor::simd::KernelsFor(level);
+  const std::string timer_name =
+      std::string("simd.") + name + "." + tensor::simd::LevelName(level);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body(kern);
+    const auto t1 = std::chrono::steady_clock::now();
+    obs::Telemetry::Global().RecordDuration(
+        timer_name, std::chrono::duration<double>(t1 - t0).count());
+  }
+  state.SetItemsProcessed(state.iterations() * kSimdBenchLen);
+  state.SetLabel(tensor::simd::LevelName(level));
+}
+
+/// Shared input/output buffers for the kernel A/B benches.
+struct SimdBenchData {
+  tensor::Tensor a, b, c, out;
+  SimdBenchData() {
+    utils::Rng rng(11);
+    const tensor::Shape shape({kSimdBenchLen});
+    a = tensor::Tensor::Normal(shape, rng);
+    b = tensor::Tensor::Normal(shape, rng);
+    c = tensor::Tensor::Uniform(shape, rng);  // in (0, 1): a valid gate
+    out = tensor::Tensor::Zeros(shape);
+  }
+  static SimdBenchData& Get() {
+    static SimdBenchData data;
+    return data;
+  }
+};
+
+void BM_SimdAdd(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "add", [&](const tensor::simd::Kernels& k) {
+    k.add(d.a.data(), d.b.data(), d.out.data(), kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdAdd)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+void BM_SimdMul(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "mul", [&](const tensor::simd::Kernels& k) {
+    k.mul(d.a.data(), d.b.data(), d.out.data(), kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdMul)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+void BM_SimdExp(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "exp", [&](const tensor::simd::Kernels& k) {
+    k.vexp(d.a.data(), d.out.data(), kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdExp)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+void BM_SimdSigmoid(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "sigmoid", [&](const tensor::simd::Kernels& k) {
+    k.sigmoid(d.a.data(), d.out.data(), kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdSigmoid)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+void BM_SimdTanh(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "tanh", [&](const tensor::simd::Kernels& k) {
+    k.vtanh(d.a.data(), d.out.data(), kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdTanh)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+void BM_SimdGruBlend(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(state, "gru_blend", [&](const tensor::simd::Kernels& k) {
+    k.gru_blend(d.c.data(), d.a.data(), d.b.data(), d.out.data(),
+                kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdGruBlend)->ArgNames({"level"})->Arg(0)->Arg(1);
+
 // Telemetry overhead contract. The disabled path of SAGDFN_SCOPED_TIMER
 // must be a single relaxed atomic load — this bench both measures it and
 // asserts that nothing was recorded (instrumented kernels with telemetry
@@ -326,6 +452,11 @@ int main(int argc, char** argv) {
   // toggle collection themselves and restore this state.
   sagdfn::obs::Telemetry::SetCollectionEnabled(true);
   benchmark::RunSpecifiedBenchmarks();
+  // Peak scratch-arena footprint across the whole run rides along in the
+  // cost JSON's gauges.
+  sagdfn::obs::Telemetry::Global().SetGauge(
+      "arena.high_water_bytes",
+      static_cast<double>(sagdfn::utils::ScratchArena::ProcessHighWater()));
   sagdfn::obs::Telemetry::SetCollectionEnabled(false);
   const sagdfn::utils::Status cost_status =
       sagdfn::obs::Telemetry::Global().WriteRegistryJson(

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/simd.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 
@@ -57,6 +58,28 @@ void Accumulate(const std::shared_ptr<Node>& node, const Tensor& g) {
 using internal::Accumulate;
 using internal::AccumulateReduced;
 using internal::MakeOp;
+
+namespace {
+
+/// Runs a fused two-input elementwise backward kernel (g, aux) -> out in
+/// parallel chunks. Tape replay is sequential; only the elementwise work
+/// inside one node is parallel (disjoint writes, thread-count
+/// independent).
+Tensor FusedBackward(const Tensor& g, const Tensor& aux,
+                     void (*kernel)(const float*, const float*, float*,
+                                    int64_t)) {
+  Tensor out(g.shape());
+  const float* pg = g.data();
+  const float* pa = aux.data();
+  float* po = out.data();
+  utils::ParallelFor(0, g.size(), utils::kElementwiseGrain,
+                     [&](int64_t i0, int64_t i1) {
+                       kernel(pg + i0, pa + i0, po + i0, i1 - i0);
+                     });
+  return out;
+}
+
+}  // namespace
 
 Variable Add(const Variable& a, const Variable& b) {
   auto na = a.node();
@@ -205,10 +228,8 @@ Variable Tanh(const Variable& a) {
   auto na = a.node();
   Tensor out = tensor::Tanh(a.value());
   return MakeOp("Tanh", out, {a}, [na, out](const Tensor& g) {
-    // g * (1 - out^2)
-    Tensor one_minus = tensor::Sub(tensor::Tensor::Ones(out.shape()),
-                                   tensor::Mul(out, out));
-    Accumulate(na, tensor::Mul(g, one_minus));
+    // g * (1 - out^2), one fused pass
+    Accumulate(na, FusedBackward(g, out, tensor::simd::K().tanh_grad));
   });
 }
 
@@ -216,29 +237,16 @@ Variable Sigmoid(const Variable& a) {
   auto na = a.node();
   Tensor out = tensor::Sigmoid(a.value());
   return MakeOp("Sigmoid", out, {a}, [na, out](const Tensor& g) {
-    // g * out * (1 - out)
-    Tensor d = tensor::Mul(
-        out, tensor::Sub(tensor::Tensor::Ones(out.shape()), out));
-    Accumulate(na, tensor::Mul(g, d));
+    // g * out * (1 - out), one fused pass
+    Accumulate(na, FusedBackward(g, out, tensor::simd::K().sigmoid_grad));
   });
 }
 
 Variable Relu(const Variable& a) {
   auto na = a.node();
   return MakeOp("Relu", tensor::Relu(a.value()), {a}, [na](const Tensor& g) {
-    // Tape replay is sequential; only the elementwise mask inside this
-    // node is parallel (disjoint writes, so thread-count independent).
-    Tensor masked(g.shape());
-    const float* pg = g.data();
-    const float* pa = na->value.data();
-    float* pm = masked.data();
-    utils::ParallelFor(0, g.size(), utils::kElementwiseGrain,
-                       [&](int64_t i0, int64_t i1) {
-                         for (int64_t i = i0; i < i1; ++i) {
-                           pm[i] = pa[i] > 0.0f ? pg[i] : 0.0f;
-                         }
-                       });
-    Accumulate(na, masked);
+    // x > 0 ? g : 0, one fused pass over the forward input
+    Accumulate(na, FusedBackward(g, na->value, tensor::simd::K().relu_grad));
   });
 }
 

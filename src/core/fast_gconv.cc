@@ -1,5 +1,6 @@
 #include "core/fast_gconv.h"
 
+#include "core/fused_ops.h"
 #include "nn/init.h"
 #include "obs/telemetry.h"
 #include "utils/check.h"
@@ -50,16 +51,13 @@ ag::Variable FastGraphConv::Forward(const ag::Variable& a_s,
   }
 
   // Diffusion series: term_0 = X; term_{j+1} = (D+I)^{-1}(A_s term_j[I] +
-  // term_j). Each term contributes through its own W_j. The slim product
-  // A_s term_j[I] and the elementwise normalization are row-parallel
-  // inside the tensor kernels.
+  // term_j). Each term contributes through its own W_j. The fused step
+  // streams the indexed rows directly (no gathered [B, K, C] tensor, no
+  // mixed/normalized intermediates); see core/fused_ops.h.
   ag::Variable term = x;
   ag::Variable out = ag::BatchedMatMul(term, weights_[0]);
   for (int64_t j = 1; j < diffusion_steps_; ++j) {
-    ag::Variable gathered = ag::IndexSelect(term, 1, index_set);
-    ag::Variable mixed =
-        ag::Add(ag::BatchedMatMul(a_s, gathered), term);  // [B, N, C]
-    term = ag::Mul(mixed, *inv_deg);
+    term = OneStepFastGConv(a_s, term, index_set, *inv_deg);
     out = ag::Add(out, ag::BatchedMatMul(term, weights_[j]));
   }
   return ag::Add(out, bias_);
@@ -103,9 +101,8 @@ ag::Variable GConvGruCell::Forward(const ag::Variable& a_s,
   ag::Variable candidate =
       ag::Tanh(candidate_conv_->Forward(a_s, index_set, x_rh, inv_deg));
 
-  // 1 - z as a scalar op: no [B, N, H] ones tensor per timestep.
-  ag::Variable one_minus_z = ag::RSubScalar(z, 1.0f);
-  return ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, candidate));
+  // Fused z*h + (1-z)*candidate: one pass, one output tensor per step.
+  return GruBlend(z, h, candidate);
 }
 
 ag::Variable GConvGruCell::InitialState(int64_t batch,

@@ -1,0 +1,243 @@
+#include "core/fused_ops.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/simd.h"
+#include "utils/arena.h"
+#include "utils/check.h"
+#include "utils/parallel.h"
+
+namespace sagdfn::core {
+
+namespace ag = ::sagdfn::autograd;
+namespace simd = ::sagdfn::tensor::simd;
+
+using ag::internal::MakeOp;
+using ag::internal::Node;
+using tensor::Shape;
+using tensor::Tensor;
+using utils::kElementwiseGrain;
+using utils::ParallelFor;
+using utils::ScratchArena;
+
+namespace {
+
+void Accumulate(const std::shared_ptr<Node>& node, const Tensor& g) {
+  if (node->requires_grad) node->AccumulateGrad(g);
+}
+
+/// Row grain so each task carries roughly kElementwiseGrain elements.
+int64_t RowGrain(int64_t row_len) {
+  return std::max<int64_t>(
+      1, kElementwiseGrain / std::max<int64_t>(1, row_len));
+}
+
+}  // namespace
+
+ag::Variable OneStepFastGConv(const ag::Variable& a_s,
+                              const ag::Variable& term,
+                              const std::vector<int64_t>& index_set,
+                              const ag::Variable& inv_deg) {
+  SAGDFN_CHECK_EQ(term.shape().ndim(), 3);
+  SAGDFN_CHECK_EQ(a_s.shape().ndim(), 2);
+  const int64_t batch = term.dim(0);
+  const int64_t n = term.dim(1);
+  const int64_t c = term.dim(2);
+  const int64_t k = static_cast<int64_t>(index_set.size());
+  SAGDFN_CHECK_EQ(a_s.dim(0), n);
+  SAGDFN_CHECK_EQ(a_s.dim(1), k);
+  SAGDFN_CHECK_EQ(inv_deg.dim(0), n);
+  SAGDFN_CHECK_EQ(inv_deg.size(), n);
+  for (int64_t j = 0; j < k; ++j) {
+    SAGDFN_CHECK_GE(index_set[j], 0);
+    SAGDFN_CHECK_LT(index_set[j], n);
+  }
+
+  const float* pa = a_s.value().data();
+  const float* pt = term.value().data();
+  const float* pinv = inv_deg.value().data();
+
+  Tensor out{Shape({batch, n, c})};
+  float* po = out.data();
+  // Each (b, i) output row is owned by exactly one task; the j scan runs
+  // in ascending order inside a row, so accumulation order (and the
+  // result) is independent of the partition.
+  ParallelFor(0, batch * n, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    const simd::Kernels& kern = simd::K();
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / n;
+      const int64_t i = r - b * n;
+      const float* t_base = pt + b * n * c;
+      float* out_row = po + r * c;
+      std::memcpy(out_row, t_base + i * c, sizeof(float) * c);
+      const float* a_row = pa + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const float av = a_row[j];
+        if (av == 0.0f) continue;
+        kern.axpy(av, t_base + index_set[j] * c, out_row, c);
+      }
+      kern.scale(out_row, pinv[i], c);
+    }
+  });
+
+  auto na = a_s.node();
+  auto nt = term.node();
+  auto ninv = inv_deg.node();
+  std::vector<int64_t> idx = index_set;
+  return MakeOp(
+      "OneStepFastGConv", out, {a_s, term, inv_deg},
+      [na, nt, ninv, idx, out, batch, n, c, k](const Tensor& g) {
+        const int64_t kk = k;
+        const float* pg = g.data();
+        const float* pa = na->value.data();
+        const float* pt = nt->value.data();
+        const float* pinv = ninv->value.data();
+        const float* pout = out.data();
+
+        // gm = g * inv_deg (the gradient at `mixed`, before normalization)
+        // doubles as the direct d_term contribution; it is materialized
+        // into the d_term buffer and read back by the a_s / gather passes
+        // BEFORE the scatter pass overwrites anything.
+        Tensor d_term{Shape({batch, n, c})};
+        float* pdt = d_term.data();
+        ParallelFor(0, batch * n, RowGrain(c), [&](int64_t r0, int64_t r1) {
+          const simd::Kernels& kern = simd::K();
+          for (int64_t r = r0; r < r1; ++r) {
+            const int64_t i = r % n;
+            kern.mul_s(pg + r * c, pinv[i], pdt + r * c, c);
+          }
+        });
+
+        if (na->requires_grad) {
+          // d_a[i, j] = sum_b dot(gm[b, i, :], term[b, idx[j], :]);
+          // disjoint a_s rows per task, batch loop in ascending order.
+          Tensor d_a{Shape({n, kk})};
+          float* pda = d_a.data();
+          ParallelFor(0, n, RowGrain(kk * c * batch),
+                      [&](int64_t i0, int64_t i1) {
+                        const simd::Kernels& kern = simd::K();
+                        for (int64_t i = i0; i < i1; ++i) {
+                          float* da_row = pda + i * kk;
+                          for (int64_t j = 0; j < kk; ++j) {
+                            double acc = 0.0;
+                            for (int64_t b = 0; b < batch; ++b) {
+                              acc += kern.dot(pdt + (b * n + i) * c,
+                                              pt + (b * n + idx[j]) * c, c);
+                            }
+                            da_row[j] = static_cast<float>(acc);
+                          }
+                        }
+                      });
+          Accumulate(na, d_a);
+        }
+
+        if (ninv->requires_grad) {
+          // d_inv[i] = sum_{b,c} g * mixed, with mixed recomputed as
+          // out / inv (inv = 1/(deg+1) is never zero).
+          Tensor d_inv{Shape({n, 1})};
+          float* pdi = d_inv.data();
+          ParallelFor(0, n, RowGrain(batch * c), [&](int64_t i0, int64_t i1) {
+            const simd::Kernels& kern = simd::K();
+            for (int64_t i = i0; i < i1; ++i) {
+              double acc = 0.0;
+              for (int64_t b = 0; b < batch; ++b) {
+                acc += kern.dot(pg + (b * n + i) * c,
+                                pout + (b * n + i) * c, c);
+              }
+              pdi[i] = static_cast<float>(acc / pinv[i]);
+            }
+          });
+          Accumulate(ninv, d_inv);
+        }
+
+        if (nt->requires_grad) {
+          // Gather backward: dG[b, j, :] = sum_i a_s[i, j] * gm[b, i, :]
+          // scattered into d_term[b, idx[j], :]. dG lives in the worker's
+          // ScratchArena and is fully computed (reads of gm done) before
+          // the scatter writes into the same batch slab — idx[j] may
+          // alias any row, including i itself. Batches are disjoint per
+          // task; the j scatter runs in ascending order, so repeated
+          // indices accumulate deterministically.
+          ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+            const simd::Kernels& kern = simd::K();
+            ScratchArena& arena = ScratchArena::ThreadLocal();
+            for (int64_t b = b0; b < b1; ++b) {
+              ScratchArena::Scope scope(arena);
+              float* dg = arena.AllocArray<float>(kk * c);
+              std::memset(dg, 0, sizeof(float) * kk * c);
+              const float* gm_base = pdt + b * n * c;
+              for (int64_t i = 0; i < n; ++i) {
+                const float* a_row = pa + i * kk;
+                const float* gm_row = gm_base + i * c;
+                for (int64_t j = 0; j < kk; ++j) {
+                  const float av = a_row[j];
+                  if (av == 0.0f) continue;
+                  kern.axpy(av, gm_row, dg + j * c, c);
+                }
+              }
+              float* dt_base = pdt + b * n * c;
+              for (int64_t j = 0; j < kk; ++j) {
+                kern.acc_add(dt_base + idx[j] * c, dg + j * c, c);
+              }
+            }
+          });
+          Accumulate(nt, d_term);
+        }
+      });
+}
+
+ag::Variable GruBlend(const ag::Variable& z, const ag::Variable& h,
+                      const ag::Variable& c) {
+  SAGDFN_CHECK(z.shape() == h.shape());
+  SAGDFN_CHECK(z.shape() == c.shape());
+  const int64_t size = z.size();
+  const float* pz = z.value().data();
+  const float* ph = h.value().data();
+  const float* pc = c.value().data();
+  Tensor out(z.shape());
+  float* po = out.data();
+  ParallelFor(0, size, kElementwiseGrain, [&](int64_t i0, int64_t i1) {
+    simd::K().gru_blend(pz + i0, ph + i0, pc + i0, po + i0, i1 - i0);
+  });
+
+  auto nz = z.node();
+  auto nh = h.node();
+  auto nc = c.node();
+  return MakeOp(
+      "GruBlend", out, {z, h, c}, [nz, nh, nc, size](const Tensor& g) {
+        const float* pg = g.data();
+        const float* pz = nz->value.data();
+        const float* ph = nh->value.data();
+        const float* pc = nc->value.data();
+        auto fused = [&](auto kernel_call) {
+          Tensor d(nz->value.shape());
+          float* pd = d.data();
+          ParallelFor(0, size, kElementwiseGrain,
+                      [&](int64_t i0, int64_t i1) {
+                        kernel_call(i0, i1, pd);
+                      });
+          return d;
+        };
+        if (nz->requires_grad) {
+          // dz = g * (h - c)
+          Accumulate(nz, fused([&](int64_t i0, int64_t i1, float* pd) {
+            simd::K().mul_sub(pg + i0, ph + i0, pc + i0, pd + i0, i1 - i0);
+          }));
+        }
+        if (nh->requires_grad) {
+          // dh = g * z
+          Accumulate(nh, fused([&](int64_t i0, int64_t i1, float* pd) {
+            simd::K().mul(pg + i0, pz + i0, pd + i0, i1 - i0);
+          }));
+        }
+        if (nc->requires_grad) {
+          // dc = g * (1 - z)
+          Accumulate(nc, fused([&](int64_t i0, int64_t i1, float* pd) {
+            simd::K().mul_one_minus(pg + i0, pz + i0, pd + i0, i1 - i0);
+          }));
+        }
+      });
+}
+
+}  // namespace sagdfn::core

@@ -1,0 +1,40 @@
+#ifndef SAGDFN_CORE_FUSED_OPS_H_
+#define SAGDFN_CORE_FUSED_OPS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace sagdfn::core {
+
+/// One diffusion step of the slim graph convolution, fused:
+///
+///   next[b, i, :] = (sum_j a_s[i, j] * term[b, idx[j], :] + term[b, i, :])
+///                   * inv_deg[i]
+///
+/// replacing the IndexSelect -> BatchedMatMul -> Add -> Mul chain in
+/// FastGraphConv::Forward. No gathered [B, K, C] tensor is ever built:
+/// each output row streams the indexed term rows through the dispatched
+/// axpy kernel (zero entries of a_s skipped, mirroring MatMul's slim
+/// sparsity), so an encoder rollout allocates one tensor per step instead
+/// of four. Backward recomputes the small intermediates into the calling
+/// thread's ScratchArena.
+///
+/// Shapes: a_s [N, K], term [B, N, C], inv_deg [N, 1]; index_set holds K
+/// indices into [0, N). Gradients flow to all three tensor inputs.
+autograd::Variable OneStepFastGConv(const autograd::Variable& a_s,
+                                    const autograd::Variable& term,
+                                    const std::vector<int64_t>& index_set,
+                                    const autograd::Variable& inv_deg);
+
+/// Fused GRU state blend: out = z * h + (1 - z) * c, all operands the
+/// same shape. Replaces the RSubScalar -> Mul -> Mul -> Add chain at the
+/// tail of GConvGruCell::Forward (one pass, one output tensor, and fused
+/// single-pass backwards for each input).
+autograd::Variable GruBlend(const autograd::Variable& z,
+                            const autograd::Variable& h,
+                            const autograd::Variable& c);
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_FUSED_OPS_H_

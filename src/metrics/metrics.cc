@@ -4,7 +4,9 @@
 #include <limits>
 #include <vector>
 
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
+#include "utils/block_reduce.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 #include "utils/string_util.h"
@@ -14,25 +16,15 @@ namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
-/// Accumulates |err|, err^2, |err|/|truth| over non-missing entries.
-/// MAPE keeps its own count: entries with 0 < |truth| < kMapeTruthFloor
-/// still score MAE/RMSE but are excluded from the percentage error, so a
-/// near-zero reading cannot blow the ratio up by orders of magnitude.
-struct Accumulator {
-  double abs = 0.0;
-  double sq = 0.0;
-  double ape = 0.0;
-  int64_t count = 0;
-  int64_t ape_count = 0;
-
-  void Merge(const Accumulator& other) {
-    abs += other.abs;
-    sq += other.sq;
-    ape += other.ape;
-    count += other.count;
-    ape_count += other.ape_count;
-  }
-};
+/// Per-block partials for |err|, err^2, |err|/|truth| over non-missing
+/// entries. MAPE keeps its own count: entries with 0 < |truth| <
+/// kMapeTruthFloor still score MAE/RMSE but are excluded from the
+/// percentage error, so a near-zero reading cannot blow the ratio up by
+/// orders of magnitude. The per-element semantics live in the dispatched
+/// masked_err kernel (tensor/simd.h); the block structure is the shared
+/// DeterministicBlockReduce contract, so the result is bit-identical for
+/// any pool size at a fixed SIMD level.
+using Accumulator = tensor::simd::MaskedErrAcc;
 
 Accumulator Accumulate(const tensor::Tensor& pred,
                        const tensor::Tensor& truth) {
@@ -40,37 +32,20 @@ Accumulator Accumulate(const tensor::Tensor& pred,
       << pred.shape().ToString() << " vs " << truth.shape().ToString();
   const float* pp = pred.data();
   const float* pt = truth.data();
-  const int64_t size = pred.size();
+  const auto masked_err = tensor::simd::K().masked_err;
 
-  // Deterministic parallel reduction: fixed-size blocks (independent of
-  // the thread count) accumulated sequentially inside, then combined in
-  // block order — bit-identical for any pool size (see utils/parallel.h).
-  const int64_t block = utils::kReduceBlock;
-  const int64_t num_blocks = (size + block - 1) / block;
-  std::vector<Accumulator> partials(num_blocks);
-  utils::ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
-    for (int64_t b = b0; b < b1; ++b) {
-      Accumulator acc;
-      const int64_t end = std::min(size, (b + 1) * block);
-      for (int64_t i = b * block; i < end; ++i) {
-        if (pt[i] == 0.0f) continue;  // missing-reading convention
-        const double truth_i = pt[i];
-        const double err = static_cast<double>(pp[i]) - truth_i;
-        acc.abs += std::fabs(err);
-        acc.sq += err * err;
-        if (std::fabs(truth_i) >= kMapeTruthFloor) {
-          acc.ape += std::fabs(err) / std::fabs(truth_i);
-          ++acc.ape_count;
-        }
-        ++acc.count;
-      }
-      partials[b] = acc;
-    }
-  });
-
-  Accumulator total;
-  for (const Accumulator& acc : partials) total.Merge(acc);
-  return total;
+  return utils::DeterministicBlockReduce<Accumulator>(
+      pred.size(), Accumulator{},
+      [&](int64_t lo, int64_t hi) {
+        return masked_err(pp + lo, pt + lo, hi - lo, kMapeTruthFloor);
+      },
+      [](Accumulator& total, const Accumulator& acc) {
+        total.abs += acc.abs;
+        total.sq += acc.sq;
+        total.ape += acc.ape;
+        total.count += acc.count;
+        total.ape_count += acc.ape_count;
+      });
 }
 
 Scores ScoresOf(const Accumulator& acc) {

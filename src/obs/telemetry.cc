@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 
+#include "utils/arena.h"
 #include "utils/logging.h"
 
 namespace sagdfn::obs {
@@ -322,6 +323,11 @@ std::vector<std::pair<std::string, TimerStats>> Telemetry::timers() const {
 }
 
 void Telemetry::EmitSnapshot(std::string_view label) {
+  // Scratch-arena telemetry rides along with every snapshot: the
+  // process-wide bump-allocator high-water mark shows the peak transient
+  // footprint of the fused kernels' backing buffers.
+  SetGauge("arena.high_water_bytes",
+           static_cast<double>(utils::ScratchArena::ProcessHighWater()));
   Event event("timers.snapshot");
   event.Str("label", label);
   for (const auto& [name, stats] : timers()) {

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
+#include "utils/block_reduce.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace sagdfn::optim {
 
@@ -95,13 +98,19 @@ void Adam::set_step_count(int64_t step_count) {
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm) {
   SAGDFN_CHECK_GT(max_norm, 0.0);
+  // Per-parameter squared norms use the same fixed-block reduction as
+  // SumAll and the masked metrics (utils/block_reduce.h): previously this
+  // was a hand-rolled sequential sum with its own grouping, which could
+  // drift from the other reductions when the kernel layer changed.
+  const auto dot = tensor::simd::K().dot;
   double sq = 0.0;
   for (const auto& p : params) {
     tensor::Tensor g = p.grad();
     const float* pg = g.data();
-    for (int64_t i = 0; i < g.size(); ++i) {
-      sq += static_cast<double>(pg[i]) * pg[i];
-    }
+    sq += utils::DeterministicBlockReduce<double>(
+        g.size(), 0.0,
+        [&](int64_t lo, int64_t hi) { return dot(pg + lo, pg + lo, hi - lo); },
+        [](double& acc, double partial) { acc += partial; });
   }
   const double norm = std::sqrt(sq);
   // A NaN/Inf norm means some gradient is non-finite; rescaling would
@@ -111,12 +120,16 @@ double ClipGradNorm(const std::vector<autograd::Variable>& params,
   if (norm > max_norm) {
     // norm > max_norm > 0, so the division is well-conditioned.
     const float scale = static_cast<float>(max_norm / norm);
+    const auto scale_k = tensor::simd::K().scale;
     for (const auto& p : params) {
       // grad() returns the stored buffer (shared handle) once defined, so
       // scaling through it updates the optimizer-visible gradient.
       tensor::Tensor g = p.grad();
       float* pg = g.data();
-      for (int64_t i = 0; i < g.size(); ++i) pg[i] *= scale;
+      utils::ParallelFor(0, g.size(), utils::kElementwiseGrain,
+                         [&](int64_t i0, int64_t i1) {
+                           scale_k(pg + i0, scale, i1 - i0);
+                         });
     }
   }
   return norm;

@@ -1,0 +1,117 @@
+// Runtime SIMD dispatch: pick the kernel table once at startup from
+// CPUID + the SAGDFN_SIMD environment variable, then serve it through a
+// single relaxed atomic load per call site.
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/simd_internal.h"
+#include "utils/logging.h"
+
+namespace sagdfn::tensor::simd {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level DetectLevel() {
+  return Avx2Available() ? Level::kAvx2 : Level::kScalar;
+}
+
+/// Resolves the startup level from SAGDFN_SIMD (once, before any kernel
+/// runs). Invalid values and unsatisfiable requests degrade with a
+/// warning instead of aborting: a forecasting run on a scalar-only box
+/// should still train, just slower.
+Level ResolveStartupLevel() {
+  const char* env = std::getenv("SAGDFN_SIMD");
+  if (env == nullptr || env[0] == '\0') return DetectLevel();
+  const Level requested = LevelFromString(env);
+  if (requested == Level::kAvx2 && !Avx2Available()) {
+    SAGDFN_LOG(Warning) << "SAGDFN_SIMD=" << env
+                        << " requested but AVX2+FMA is unavailable ("
+                        << (internal::Avx2CompiledIn()
+                                ? "CPU lacks support"
+                                : "not compiled in")
+                        << "); using scalar kernels";
+    return Level::kScalar;
+  }
+  return requested;
+}
+
+struct Dispatch {
+  std::atomic<const Kernels*> table;
+  std::atomic<Level> level;
+
+  Dispatch() {
+    const Level startup = ResolveStartupLevel();
+    level.store(startup, std::memory_order_relaxed);
+    table.store(&KernelsFor(startup), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+}  // namespace
+
+bool Avx2Available() {
+  static const bool available = internal::Avx2CompiledIn() && CpuHasAvx2Fma();
+  return available;
+}
+
+Level ActiveLevel() {
+  return GetDispatch().level.load(std::memory_order_relaxed);
+}
+
+bool SetActiveLevel(Level level) {
+  if (level == Level::kAvx2 && !Avx2Available()) return false;
+  Dispatch& d = GetDispatch();
+  d.level.store(level, std::memory_order_relaxed);
+  d.table.store(&KernelsFor(level), std::memory_order_relaxed);
+  return true;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level LevelFromString(const char* value) {
+  if (value == nullptr) return DetectLevel();
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0) {
+    return Level::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(value, "auto") != 0 && value[0] != '\0') {
+    SAGDFN_LOG(Warning) << "Unknown SAGDFN_SIMD value '" << value
+                        << "' (want off|avx2|auto); using auto detection";
+  }
+  return DetectLevel();
+}
+
+const Kernels& KernelsFor(Level level) {
+  if (level == Level::kAvx2 && Avx2Available()) {
+    return internal::Avx2Kernels();
+  }
+  return internal::ScalarKernels();
+}
+
+const Kernels& K() {
+  return *GetDispatch().table.load(std::memory_order_relaxed);
+}
+
+}  // namespace sagdfn::tensor::simd

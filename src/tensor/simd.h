@@ -1,0 +1,133 @@
+#ifndef SAGDFN_TENSOR_SIMD_H_
+#define SAGDFN_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace sagdfn::tensor::simd {
+
+/// Instruction-set tier for the hot-path kernels.
+///
+/// Resolved once at startup (first kernel use): runtime CPUID detection
+/// picks kAvx2 when the CPU reports AVX2+FMA, overridable with the
+/// SAGDFN_SIMD environment variable:
+///   SAGDFN_SIMD=off    force the portable scalar kernels
+///   SAGDFN_SIMD=avx2   require AVX2 (falls back to scalar with a warning
+///                      when the CPU or build lacks it)
+///   SAGDFN_SIMD=auto   CPUID detection (the default)
+///
+/// Determinism contract (DESIGN.md §5f): for a FIXED level, every kernel
+/// is bit-identical across thread counts and runs. Levels agree with each
+/// other to tight tolerance (FMA contraction and vectorized exp/tanh/
+/// sigmoid round differently than libm), which the `simd`-labeled test
+/// suite pins.
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True when this binary carries AVX2 kernels and the CPU supports them.
+bool Avx2Available();
+
+/// The level in effect (resolves env/CPUID on first call).
+Level ActiveLevel();
+
+/// Overrides the active level (tests and A/B benches). Passing kAvx2 on a
+/// machine without AVX2 support keeps the scalar table and returns false.
+/// Not thread-safe against in-flight kernels: call between parallel
+/// regions, like SetNumThreads.
+bool SetActiveLevel(Level level);
+
+/// "scalar" or "avx2".
+const char* LevelName(Level level);
+
+/// Parses a SAGDFN_SIMD value ("off"/"scalar" -> kScalar, "avx2" -> kAvx2,
+/// "auto"/"" -> detected level). Unknown values fall back to detection.
+Level LevelFromString(const char* value);
+
+/// Per-block partial for the masked error reduction behind the metrics
+/// (MAE/RMSE/MAPE over non-missing entries; see metrics/metrics.cc).
+struct MaskedErrAcc {
+  double abs = 0.0;       // sum |pred - truth|        over truth != 0
+  double sq = 0.0;        // sum (pred - truth)^2      over truth != 0
+  double ape = 0.0;       // sum |err| / |truth|       over |truth| >= floor
+  int64_t count = 0;      // entries with truth != 0
+  int64_t ape_count = 0;  // entries with |truth| >= floor
+};
+
+/// Dispatch table of contiguous-array kernels. One table per Level; all
+/// entries are non-null. Pointers operate on raw float arrays — callers
+/// (tensor_ops, autograd backwards, metrics, optim) own the slicing,
+/// broadcasting, and parallel partitioning.
+struct Kernels {
+  // -- Elementwise binary: o[i] = a[i] OP b[i] ------------------------------
+  void (*add)(const float* a, const float* b, float* o, int64_t n);
+  void (*sub)(const float* a, const float* b, float* o, int64_t n);
+  void (*mul)(const float* a, const float* b, float* o, int64_t n);
+  void (*div)(const float* a, const float* b, float* o, int64_t n);
+  void (*vmax)(const float* a, const float* b, float* o, int64_t n);
+  void (*vmin)(const float* a, const float* b, float* o, int64_t n);
+
+  // -- Elementwise with a broadcast scalar ----------------------------------
+  void (*add_s)(const float* a, float s, float* o, int64_t n);   // a + s
+  void (*sub_s)(const float* a, float s, float* o, int64_t n);   // a - s
+  void (*rsub_s)(const float* a, float s, float* o, int64_t n);  // s - a
+  void (*mul_s)(const float* a, float s, float* o, int64_t n);   // a * s
+  void (*div_s)(const float* a, float s, float* o, int64_t n);   // a / s
+  void (*rdiv_s)(const float* a, float s, float* o, int64_t n);  // s / a
+  void (*max_s)(const float* a, float s, float* o, int64_t n);
+  void (*min_s)(const float* a, float s, float* o, int64_t n);
+
+  // -- In-place accumulation (reduction inner loops) ------------------------
+  void (*acc_add)(float* dst, const float* src, int64_t n);   // dst += src
+  void (*max_into)(float* dst, const float* src, int64_t n);  // dst=max(.,src)
+
+  // -- Elementwise unary ----------------------------------------------------
+  void (*neg)(const float* a, float* o, int64_t n);
+  void (*vabs)(const float* a, float* o, int64_t n);
+  void (*relu)(const float* a, float* o, int64_t n);
+  void (*vsqrt)(const float* a, float* o, int64_t n);
+  void (*vexp)(const float* a, float* o, int64_t n);
+  void (*sigmoid)(const float* a, float* o, int64_t n);
+  void (*vtanh)(const float* a, float* o, int64_t n);
+
+  // -- Fused autograd backward kernels --------------------------------------
+  /// o = g * out * (1 - out)   (sigmoid backward; `out` is the fwd value)
+  void (*sigmoid_grad)(const float* g, const float* out, float* o, int64_t n);
+  /// o = g * (1 - out^2)       (tanh backward)
+  void (*tanh_grad)(const float* g, const float* out, float* o, int64_t n);
+  /// o = x > 0 ? g : 0         (relu backward; `x` is the fwd input)
+  void (*relu_grad)(const float* g, const float* x, float* o, int64_t n);
+  /// o = g * (a - b)           (GRU blend backward wrt z)
+  void (*mul_sub)(const float* g, const float* a, const float* b, float* o,
+                  int64_t n);
+  /// o = g * (1 - z)           (GRU blend backward wrt candidate)
+  void (*mul_one_minus)(const float* g, const float* z, float* o, int64_t n);
+
+  // -- Linear-algebra inner loops -------------------------------------------
+  /// dst[i] += a * x[i]  (matmul / diffusion macro-kernel row update)
+  void (*axpy)(float a, const float* x, float* dst, int64_t n);
+  /// dst[i] *= s         (gradient rescale)
+  void (*scale)(float* dst, float s, int64_t n);
+  /// sum_i (double)a[i] * (double)b[i]; fixed intra-call order per level.
+  double (*dot)(const float* a, const float* b, int64_t n);
+  /// sum_i (double)a[i]; fixed intra-call order per level.
+  double (*sum)(const float* a, int64_t n);
+
+  // -- Model-specific fusions -----------------------------------------------
+  /// o = z*h + (1-z)*c   (GRU state blend, one pass)
+  void (*gru_blend)(const float* z, const float* h, const float* c, float* o,
+                    int64_t n);
+  /// Masked error partials over one block (metrics reduction).
+  MaskedErrAcc (*masked_err)(const float* pred, const float* truth, int64_t n,
+                             double mape_floor);
+};
+
+/// The kernel table for an explicit level (kAvx2 requires Avx2Available()).
+const Kernels& KernelsFor(Level level);
+
+/// The active kernel table (one relaxed atomic load).
+const Kernels& K();
+
+}  // namespace sagdfn::tensor::simd
+
+#endif  // SAGDFN_TENSOR_SIMD_H_

@@ -1,0 +1,542 @@
+// AVX2+FMA kernel table. This translation unit is compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt) and must only be CALLED
+// after runtime CPUID detection confirms support — simd.cc guarantees
+// that. Every kernel processes full 8-float lanes then a scalar tail, so
+// for a fixed level results are bit-identical regardless of how callers
+// partition the range across threads (lane math per output element never
+// depends on the chunk boundaries; the dot/sum reductions fix their lane
+// accumulator layout per call instead, so equal (lo, hi) blocks always
+// reduce identically).
+//
+// exp/sigmoid/tanh use a Cephes-style polynomial exp (~2 ulp over the
+// clamped range) rather than libm, so they differ from the scalar level
+// within the tolerance pinned by tests/simd_test.cc.
+#include "tensor/simd_internal.h"
+
+#if defined(SAGDFN_SIMD_AVX2_TU)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace sagdfn::tensor::simd::internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vectorized exp (Cephes expf constants, as used by avx_mathfun and the
+// usual SIMD math libraries). Preserves the IEEE edge cases the model
+// relies on: overflow to +inf, underflow to 0, NaN propagation.
+// ---------------------------------------------------------------------------
+
+inline __m256 ExpPs(__m256 x) {
+  const __m256 exp_hi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 exp_lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 p0 = _mm256_set1_ps(1.9875691500e-4f);
+  const __m256 p1 = _mm256_set1_ps(1.3981999507e-3f);
+  const __m256 p2 = _mm256_set1_ps(8.3334519073e-3f);
+  const __m256 p3 = _mm256_set1_ps(4.1665795894e-2f);
+  const __m256 p4 = _mm256_set1_ps(1.6666665459e-1f);
+  const __m256 p5 = _mm256_set1_ps(5.0000001201e-1f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  // Remember the out-of-range lanes before clamping.
+  const __m256 overflow = _mm256_cmp_ps(x, exp_hi, _CMP_GT_OQ);
+  const __m256 underflow = _mm256_cmp_ps(x, exp_lo, _CMP_LT_OQ);
+  const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+
+  __m256 xc = _mm256_min_ps(_mm256_max_ps(x, exp_lo), exp_hi);
+
+  // n = round(x * log2(e)); r = x - n*ln2 (split-constant Cody-Waite).
+  __m256 fx = _mm256_round_ps(
+      _mm256_mul_ps(xc, log2e),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(fx, c1, xc);
+  r = _mm256_fnmadd_ps(fx, c2, r);
+  const __m256 r2 = _mm256_mul_ps(r, r);
+
+  __m256 y = p0;
+  y = _mm256_fmadd_ps(y, r, p1);
+  y = _mm256_fmadd_ps(y, r, p2);
+  y = _mm256_fmadd_ps(y, r, p3);
+  y = _mm256_fmadd_ps(y, r, p4);
+  y = _mm256_fmadd_ps(y, r, p5);
+  y = _mm256_fmadd_ps(y, r2, _mm256_add_ps(r, one));
+
+  // Scale by 2^n through the exponent bits.
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2n =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  y = _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n));
+
+  y = _mm256_blendv_ps(y, _mm256_set1_ps(HUGE_VALF), overflow);
+  y = _mm256_blendv_ps(y, _mm256_setzero_ps(), underflow);
+  y = _mm256_blendv_ps(y, x, nan_mask);  // propagate the original NaN
+  return y;
+}
+
+inline __m256 AbsPs(__m256 x) {
+  return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), x);
+}
+
+// ---------------------------------------------------------------------------
+// Lane+tail loop helpers: each kernel body is expressed once over lanes
+// (8 floats) and once over scalars, via small op structs.
+// ---------------------------------------------------------------------------
+
+struct AddOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_add_ps(a, b); }
+  static float S(float a, float b) { return a + b; }
+};
+struct SubOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_sub_ps(a, b); }
+  static float S(float a, float b) { return a - b; }
+};
+struct MulOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_mul_ps(a, b); }
+  static float S(float a, float b) { return a * b; }
+};
+struct DivOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_div_ps(a, b); }
+  static float S(float a, float b) { return a / b; }
+};
+struct MaxOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_max_ps(b, a); }
+  static float S(float a, float b) { return a > b ? a : b; }
+};
+struct MinOp {
+  static __m256 V(__m256 a, __m256 b) { return _mm256_min_ps(b, a); }
+  static float S(float a, float b) { return a < b ? a : b; }
+};
+
+template <typename Op>
+void BinaryVV(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, Op::V(_mm256_loadu_ps(a + i),
+                                  _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = Op::S(a[i], b[i]);
+}
+
+/// o[i] = a[i] OP s
+template <typename Op>
+void BinaryVS(const float* a, float s, float* o, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, Op::V(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = Op::S(a[i], s);
+}
+
+/// o[i] = s OP a[i]
+template <typename Op>
+void BinarySV(const float* a, float s, float* o, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, Op::V(vs, _mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = Op::S(s, a[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel entry points
+// ---------------------------------------------------------------------------
+
+void Add(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<AddOp>(a, b, o, n);
+}
+void Sub(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<SubOp>(a, b, o, n);
+}
+void Mul(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<MulOp>(a, b, o, n);
+}
+void Div(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<DivOp>(a, b, o, n);
+}
+void VMax(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<MaxOp>(a, b, o, n);
+}
+void VMin(const float* a, const float* b, float* o, int64_t n) {
+  BinaryVV<MinOp>(a, b, o, n);
+}
+
+void AddS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<AddOp>(a, s, o, n);
+}
+void SubS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<SubOp>(a, s, o, n);
+}
+void RSubS(const float* a, float s, float* o, int64_t n) {
+  BinarySV<SubOp>(a, s, o, n);
+}
+void MulS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<MulOp>(a, s, o, n);
+}
+void DivS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<DivOp>(a, s, o, n);
+}
+void RDivS(const float* a, float s, float* o, int64_t n) {
+  BinarySV<DivOp>(a, s, o, n);
+}
+void MaxS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<MaxOp>(a, s, o, n);
+}
+void MinS(const float* a, float s, float* o, int64_t n) {
+  BinaryVS<MinOp>(a, s, o, n);
+}
+
+void AccAdd(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+void MaxInto(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // max(dst, src): second operand wins on NaN, matching `src > dst`.
+    _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(src + i),
+                                            _mm256_loadu_ps(dst + i)));
+  }
+  for (; i < n; ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+void Neg(const float* a, float* o, int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+  }
+  for (; i < n; ++i) o[i] = -a[i];
+}
+void VAbs(const float* a, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, AbsPs(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = std::fabs(a[i]);
+}
+void Relu(const float* a, float* o, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    // x > 0 ? x : 0 (a NaN lane yields 0, matching the scalar branch).
+    const __m256 mask = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(o + i, _mm256_and_ps(x, mask));
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+void VSqrt(const float* a, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_sqrt_ps(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = std::sqrt(a[i]);
+}
+void VExp(const float* a, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, ExpPs(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) o[i] = std::exp(a[i]);
+}
+void Sigmoid(const float* a, float* o, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    // Stable two-branch form, vectorized: z = e^{-|x|} <= 1, then
+    // x >= 0 -> 1/(1+z), x < 0 -> z/(1+z).
+    const __m256 z = ExpPs(_mm256_xor_ps(AbsPs(x), _mm256_set1_ps(-0.0f)));
+    const __m256 denom = _mm256_add_ps(one, z);
+    const __m256 nonneg = _mm256_cmp_ps(x, zero, _CMP_GE_OQ);
+    const __m256 num = _mm256_blendv_ps(z, one, nonneg);
+    __m256 y = _mm256_div_ps(num, denom);
+    const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+    y = _mm256_blendv_ps(y, x, nan_mask);
+    _mm256_storeu_ps(o + i, y);
+  }
+  for (; i < n; ++i) {
+    const float x = a[i];
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      o[i] = 1.0f / (1.0f + z);
+    } else {
+      const float z = std::exp(x);
+      o[i] = z / (1.0f + z);
+    }
+  }
+}
+void VTanh(const float* a, float* o, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 sign_bit = _mm256_set1_ps(-0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    // tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored at the
+    // end; e^{-2|x|} <= 1 so there is no overflow anywhere.
+    const __m256 ax = AbsPs(x);
+    const __m256 t =
+        ExpPs(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0f)));
+    __m256 y = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+    y = _mm256_or_ps(y, _mm256_and_ps(x, sign_bit));  // copysign
+    const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+    y = _mm256_blendv_ps(y, x, nan_mask);
+    _mm256_storeu_ps(o + i, y);
+  }
+  for (; i < n; ++i) o[i] = std::tanh(a[i]);
+}
+
+void SigmoidGrad(const float* g, const float* out, float* o, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_loadu_ps(out + i);
+    const __m256 d = _mm256_mul_ps(s, _mm256_sub_ps(one, s));
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) o[i] = g[i] * out[i] * (1.0f - out[i]);
+}
+void TanhGrad(const float* g, const float* out, float* o, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_loadu_ps(out + i);
+    const __m256 d = _mm256_fnmadd_ps(t, t, one);  // 1 - t*t
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) o[i] = g[i] * (1.0f - out[i] * out[i]);
+}
+void ReluGrad(const float* g, const float* x, float* o, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask =
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(o + i, _mm256_and_ps(_mm256_loadu_ps(g + i), mask));
+  }
+  for (; i < n; ++i) o[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+void MulSub(const float* g, const float* a, const float* b, float* o,
+            int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) o[i] = g[i] * (a[i] - b[i]);
+}
+void MulOneMinus(const float* g, const float* z, float* o, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(one, _mm256_loadu_ps(z + i));
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) o[i] = g[i] * (1.0f - z[i]);
+}
+
+void Axpy(float a, const float* x, float* dst, int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                                     _mm256_loadu_ps(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] += a * x[i];
+}
+void Scale(float* dst, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), vs));
+  }
+  for (; i < n; ++i) dst[i] *= s;
+}
+
+/// Sums the four doubles of `v` in fixed lane order.
+inline double HSum4(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+double Dot(const float* a, const float* b, int64_t n) {
+  // Products are widened to double BEFORE accumulating, matching the
+  // scalar level's (double)a * (double)b precision; only the lane
+  // interleaving differs, which stays within the cross-level tolerance.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc_lo = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_castps256_ps128(va)),
+        _mm256_cvtps_pd(_mm256_castps256_ps128(vb)), acc_lo);
+    acc_hi = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1)),
+        _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1)), acc_hi);
+  }
+  double acc = HSum4(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+double Sum(const float* a, int64_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double acc = HSum4(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+void GruBlend(const float* z, const float* h, const float* c, float* o,
+              int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vz = _mm256_loadu_ps(z + i);
+    const __m256 vh = _mm256_loadu_ps(h + i);
+    const __m256 vc = _mm256_loadu_ps(c + i);
+    const __m256 blended = _mm256_fmadd_ps(
+        vz, vh, _mm256_mul_ps(_mm256_sub_ps(one, vz), vc));
+    _mm256_storeu_ps(o + i, blended);
+  }
+  for (; i < n; ++i) o[i] = z[i] * h[i] + (1.0f - z[i]) * c[i];
+}
+
+MaskedErrAcc MaskedErr(const float* pred, const float* truth, int64_t n,
+                       double mape_floor) {
+  MaskedErrAcc acc;
+  const __m256d zero_d = _mm256_setzero_pd();
+  const __m256d one_d = _mm256_set1_pd(1.0);
+  const __m256d floor_d = _mm256_set1_pd(mape_floor);
+  const __m256d sign_d = _mm256_set1_pd(-0.0);
+  __m256d abs_acc = zero_d, sq_acc = zero_d, ape_acc = zero_d;
+  int64_t count = 0, ape_count = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d td = _mm256_cvtps_pd(_mm_loadu_ps(truth + i));
+    const __m256d pd = _mm256_cvtps_pd(_mm_loadu_ps(pred + i));
+    // truth != 0, unordered (NaN truth stays included, like the scalar
+    // `truth[i] == 0.0f` skip which is false for NaN).
+    const __m256d m_nz = _mm256_cmp_pd(td, zero_d, _CMP_NEQ_UQ);
+    const __m256d err = _mm256_sub_pd(pd, td);
+    const __m256d abs_err = _mm256_andnot_pd(sign_d, err);
+    const __m256d abs_t = _mm256_andnot_pd(sign_d, td);
+    abs_acc = _mm256_add_pd(abs_acc, _mm256_and_pd(abs_err, m_nz));
+    const __m256d err_masked = _mm256_and_pd(err, m_nz);
+    sq_acc = _mm256_fmadd_pd(err_masked, err_masked, sq_acc);
+    count += _mm_popcnt_u32(
+        static_cast<unsigned>(_mm256_movemask_pd(m_nz)));
+    // |truth| >= floor, ordered (NaN truth drops out of MAPE, matching
+    // the scalar fabs(truth) >= floor which is false for NaN).
+    const __m256d m_ape = _mm256_cmp_pd(abs_t, floor_d, _CMP_GE_OQ);
+    const __m256d safe_t = _mm256_blendv_pd(one_d, abs_t, m_ape);
+    ape_acc = _mm256_add_pd(
+        ape_acc, _mm256_and_pd(_mm256_div_pd(abs_err, safe_t), m_ape));
+    ape_count += _mm_popcnt_u32(
+        static_cast<unsigned>(_mm256_movemask_pd(m_ape)));
+  }
+  acc.abs = HSum4(abs_acc);
+  acc.sq = HSum4(sq_acc);
+  acc.ape = HSum4(ape_acc);
+  acc.count = count;
+  acc.ape_count = ape_count;
+  for (; i < n; ++i) {
+    if (truth[i] == 0.0f) continue;
+    const double truth_i = truth[i];
+    const double err = static_cast<double>(pred[i]) - truth_i;
+    acc.abs += std::fabs(err);
+    acc.sq += err * err;
+    if (std::fabs(truth_i) >= mape_floor) {
+      acc.ape += std::fabs(err) / std::fabs(truth_i);
+      ++acc.ape_count;
+    }
+    ++acc.count;
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool Avx2CompiledIn() { return true; }
+
+const Kernels& Avx2Kernels() {
+  static const Kernels table = {
+      .add = Add,
+      .sub = Sub,
+      .mul = Mul,
+      .div = Div,
+      .vmax = VMax,
+      .vmin = VMin,
+      .add_s = AddS,
+      .sub_s = SubS,
+      .rsub_s = RSubS,
+      .mul_s = MulS,
+      .div_s = DivS,
+      .rdiv_s = RDivS,
+      .max_s = MaxS,
+      .min_s = MinS,
+      .acc_add = AccAdd,
+      .max_into = MaxInto,
+      .neg = Neg,
+      .vabs = VAbs,
+      .relu = Relu,
+      .vsqrt = VSqrt,
+      .vexp = VExp,
+      .sigmoid = Sigmoid,
+      .vtanh = VTanh,
+      .sigmoid_grad = SigmoidGrad,
+      .tanh_grad = TanhGrad,
+      .relu_grad = ReluGrad,
+      .mul_sub = MulSub,
+      .mul_one_minus = MulOneMinus,
+      .axpy = Axpy,
+      .scale = Scale,
+      .dot = Dot,
+      .sum = Sum,
+      .gru_blend = GruBlend,
+      .masked_err = MaskedErr,
+  };
+  return table;
+}
+
+}  // namespace sagdfn::tensor::simd::internal
+
+#else  // !SAGDFN_SIMD_AVX2_TU
+
+namespace sagdfn::tensor::simd::internal {
+
+bool Avx2CompiledIn() { return false; }
+
+const Kernels& Avx2Kernels() { return ScalarKernels(); }
+
+}  // namespace sagdfn::tensor::simd::internal
+
+#endif  // SAGDFN_SIMD_AVX2_TU

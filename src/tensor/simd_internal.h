@@ -1,0 +1,24 @@
+#ifndef SAGDFN_TENSOR_SIMD_INTERNAL_H_
+#define SAGDFN_TENSOR_SIMD_INTERNAL_H_
+
+#include "tensor/simd.h"
+
+// Internal wiring between the dispatch front-end (simd.cc) and the
+// per-level kernel translation units. Not for use outside src/tensor.
+
+namespace sagdfn::tensor::simd::internal {
+
+/// Portable scalar kernel table (always available).
+const Kernels& ScalarKernels();
+
+/// True when the binary was built with the AVX2 translation unit.
+bool Avx2CompiledIn();
+
+/// AVX2+FMA kernel table. Only valid to CALL when the CPU supports
+/// AVX2+FMA; always safe to reference. When the AVX2 TU is compiled out
+/// this returns the scalar table.
+const Kernels& Avx2Kernels();
+
+}  // namespace sagdfn::tensor::simd::internal
+
+#endif  // SAGDFN_TENSOR_SIMD_INTERNAL_H_

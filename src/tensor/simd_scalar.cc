@@ -1,0 +1,199 @@
+// Portable scalar kernel table: the reference semantics every other level
+// must match (to the tolerance pinned by the simd test suite). These loops
+// are deliberately simple — the compiler may auto-vectorize them, but the
+// accumulation orders are fixed, so results are bit-identical run to run
+// and thread count to thread count.
+#include <cmath>
+
+#include "tensor/simd_internal.h"
+
+namespace sagdfn::tensor::simd::internal {
+namespace {
+
+void Add(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+}
+void Sub(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+}
+void Mul(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+}
+void Div(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] / b[i];
+}
+void VMax(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] > b[i] ? a[i] : b[i];
+}
+void VMin(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] < b[i] ? a[i] : b[i];
+}
+
+void AddS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + s;
+}
+void SubS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] - s;
+}
+void RSubS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = s - a[i];
+}
+void MulS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] * s;
+}
+void DivS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] / s;
+}
+void RDivS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = s / a[i];
+}
+void MaxS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] > s ? a[i] : s;
+}
+void MinS(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] < s ? a[i] : s;
+}
+
+void AccAdd(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+void MaxInto(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+void Neg(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = -a[i];
+}
+void VAbs(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::fabs(a[i]);
+}
+void Relu(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+void VSqrt(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::sqrt(a[i]);
+}
+void VExp(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::exp(a[i]);
+}
+void Sigmoid(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = a[i];
+    // Stable in both tails.
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      o[i] = 1.0f / (1.0f + z);
+    } else {
+      const float z = std::exp(x);
+      o[i] = z / (1.0f + z);
+    }
+  }
+}
+void VTanh(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::tanh(a[i]);
+}
+
+void SigmoidGrad(const float* g, const float* out, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = g[i] * out[i] * (1.0f - out[i]);
+}
+void TanhGrad(const float* g, const float* out, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = g[i] * (1.0f - out[i] * out[i]);
+}
+void ReluGrad(const float* g, const float* x, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+void MulSub(const float* g, const float* a, const float* b, float* o,
+            int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = g[i] * (a[i] - b[i]);
+}
+void MulOneMinus(const float* g, const float* z, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = g[i] * (1.0f - z[i]);
+}
+
+void Axpy(float a, const float* x, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += a * x[i];
+}
+void Scale(float* dst, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] *= s;
+}
+double Dot(const float* a, const float* b, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+double Sum(const float* a, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+void GruBlend(const float* z, const float* h, const float* c, float* o,
+              int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = z[i] * h[i] + (1.0f - z[i]) * c[i];
+}
+
+MaskedErrAcc MaskedErr(const float* pred, const float* truth, int64_t n,
+                       double mape_floor) {
+  MaskedErrAcc acc;
+  for (int64_t i = 0; i < n; ++i) {
+    if (truth[i] == 0.0f) continue;  // missing-reading convention
+    const double truth_i = truth[i];
+    const double err = static_cast<double>(pred[i]) - truth_i;
+    acc.abs += std::fabs(err);
+    acc.sq += err * err;
+    if (std::fabs(truth_i) >= mape_floor) {
+      acc.ape += std::fabs(err) / std::fabs(truth_i);
+      ++acc.ape_count;
+    }
+    ++acc.count;
+  }
+  return acc;
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() {
+  static const Kernels table = {
+      .add = Add,
+      .sub = Sub,
+      .mul = Mul,
+      .div = Div,
+      .vmax = VMax,
+      .vmin = VMin,
+      .add_s = AddS,
+      .sub_s = SubS,
+      .rsub_s = RSubS,
+      .mul_s = MulS,
+      .div_s = DivS,
+      .rdiv_s = RDivS,
+      .max_s = MaxS,
+      .min_s = MinS,
+      .acc_add = AccAdd,
+      .max_into = MaxInto,
+      .neg = Neg,
+      .vabs = VAbs,
+      .relu = Relu,
+      .vsqrt = VSqrt,
+      .vexp = VExp,
+      .sigmoid = Sigmoid,
+      .vtanh = VTanh,
+      .sigmoid_grad = SigmoidGrad,
+      .tanh_grad = TanhGrad,
+      .relu_grad = ReluGrad,
+      .mul_sub = MulSub,
+      .mul_one_minus = MulOneMinus,
+      .axpy = Axpy,
+      .scale = Scale,
+      .dot = Dot,
+      .sum = Sum,
+      .gru_blend = GruBlend,
+      .masked_err = MaskedErr,
+  };
+  return table;
+}
+
+}  // namespace sagdfn::tensor::simd::internal

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 
+#include "tensor/simd.h"
+#include "utils/block_reduce.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 
@@ -16,6 +18,11 @@ using utils::kReduceBlock;
 using utils::ParallelFor;
 using utils::ParallelFor2D;
 
+// Kernel-pointer aliases from the SIMD dispatch table (see tensor/simd.h).
+using BinVV = void (*)(const float*, const float*, float*, int64_t);
+using BinVS = void (*)(const float*, float, float*, int64_t);
+using UnaryK = void (*)(const float*, float*, int64_t);
+
 // Minimum multiply-accumulate count per matmul task; rows are grouped so
 // each task carries at least this much work before the pool is engaged.
 constexpr int64_t kMatMulGrainFlops = 1 << 16;
@@ -24,12 +31,17 @@ constexpr int64_t kMatMulGrainFlops = 1 << 16;
 // (kKTile x n floats) stays resident while a task's rows stream past it.
 constexpr int64_t kKTile = 256;
 
-// Applies `op` elementwise over broadcast inputs. Fast path for identical
-// shapes; otherwise walks a multi-index with per-input broadcast strides.
+// Applies one operation elementwise over broadcast inputs. The three
+// contiguous fast paths run the dispatched SIMD kernels: `vv` for
+// identical shapes, `vs` (o = a[i] OP s) when the rhs is a scalar, `sv`
+// (o = s OP a[i]) when the lhs is. The general broadcast path walks a
+// multi-index with per-input strides and stays on the scalar `op` (its
+// access pattern is gather-like, not vectorizable as contiguous lanes).
 // All paths parallelize over contiguous output chunks (each element is
 // written by exactly one task, so results are thread-count independent).
 template <typename Op>
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinVV vv, BinVS vs,
+                       BinVS sv, Op op) {
   if (a.shape() == b.shape()) {
     Tensor out(a.shape());
     const float* pa = a.data();
@@ -37,7 +49,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     float* po = out.data();
     ParallelFor(0, a.size(), kElementwiseGrain,
                 [&](int64_t i0, int64_t i1) {
-                  for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], pb[i]);
+                  vv(pa + i0, pb + i0, po + i0, i1 - i0);
                 });
     return out;
   }
@@ -51,7 +63,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     float* po = out.data();
     ParallelFor(0, a.size(), kElementwiseGrain,
                 [&](int64_t i0, int64_t i1) {
-                  for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], s);
+                  vs(pa + i0, s, po + i0, i1 - i0);
                 });
     return out;
   }
@@ -62,7 +74,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
     float* po = out.data();
     ParallelFor(0, b.size(), kElementwiseGrain,
                 [&](int64_t i0, int64_t i1) {
-                  for (int64_t i = i0; i < i1; ++i) po[i] = op(s, pb[i]);
+                  sv(pb + i0, s, po + i0, i1 - i0);
                 });
     return out;
   }
@@ -129,6 +141,28 @@ Tensor UnaryOp(const Tensor& a, Op op) {
   return out;
 }
 
+// Unary op routed through a dispatched contiguous kernel.
+Tensor UnaryKernel(const Tensor& a, UnaryK kernel) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t i0, int64_t i1) {
+    kernel(pa + i0, po + i0, i1 - i0);
+  });
+  return out;
+}
+
+// Tensor-scalar op routed through a dispatched contiguous kernel.
+Tensor ScalarKernel(const Tensor& a, float s, BinVS kernel) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t i0, int64_t i1) {
+    kernel(pa + i0, s, po + i0, i1 - i0);
+  });
+  return out;
+}
+
 // Decomposes a shape around `axis` into (outer, axis_size, inner) so
 // reductions can run as three nested loops.
 struct AxisSplit {
@@ -167,15 +201,16 @@ int64_t ReduceOuterGrain(const AxisSplit& s) {
 }
 
 // Single-row matmul macro-kernel: out_row += a_row * B over kk in
-// [k0, k1), streaming B rows. Zero entries of A are skipped (the slim
-// adjacency and dropout masks are sparse in practice).
+// [k0, k1), streaming B rows through the dispatched axpy kernel. Zero
+// entries of A are skipped (the slim adjacency and dropout masks are
+// sparse in practice).
 inline void MatMulRowTile(const float* a_row, const float* pb, float* out_row,
-                          int64_t k0, int64_t k1, int64_t n) {
+                          int64_t k0, int64_t k1, int64_t n,
+                          const simd::Kernels& kern) {
   for (int64_t kk = k0; kk < k1; ++kk) {
     const float av = a_row[kk];
     if (av == 0.0f) continue;
-    const float* b_row = pb + kk * n;
-    for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    kern.axpy(av, pb + kk * n, out_row, n);
   }
 }
 
@@ -185,10 +220,11 @@ inline void MatMulRowTile(const float* a_row, const float* pb, float* out_row,
 // for every thread count / partition).
 inline void MatMulRows(const float* pa, const float* pb, float* po,
                        int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  const simd::Kernels& kern = simd::K();
   for (int64_t k0 = 0; k0 < k; k0 += kKTile) {
     const int64_t k1 = std::min<int64_t>(k, k0 + kKTile);
     for (int64_t i = i0; i < i1; ++i) {
-      MatMulRowTile(pa + i * k, pb, po + i * n, k0, k1, n);
+      MatMulRowTile(pa + i * k, pb, po + i * n, k0, k1, n, kern);
     }
   }
 }
@@ -196,60 +232,62 @@ inline void MatMulRows(const float* pa, const float* pb, float* po,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, std::plus<float>());
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.add, k.add_s, k.add_s, std::plus<float>());
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, std::minus<float>());
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.sub, k.sub_s, k.rsub_s, std::minus<float>());
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, std::multiplies<float>());
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.mul, k.mul_s, k.mul_s,
+                         std::multiplies<float>());
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, std::divides<float>());
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.div, k.div_s, k.rdiv_s,
+                         std::divides<float>());
 }
 
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.vmax, k.max_s, k.max_s,
+                         [](float x, float y) { return std::max(x, y); });
 }
 
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return std::min(x, y); });
+  const simd::Kernels& k = simd::K();
+  return BroadcastBinary(a, b, k.vmin, k.min_s, k.min_s,
+                         [](float x, float y) { return std::min(x, y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return ScalarKernel(a, s, simd::K().add_s);
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return ScalarKernel(a, s, simd::K().mul_s);
 }
 
 Tensor RSubScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return s - x; });
+  return ScalarKernel(a, s, simd::K().rsub_s);
 }
 
-Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
-}
+Tensor Neg(const Tensor& a) { return UnaryKernel(a, simd::K().neg); }
 
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
-}
+Tensor Exp(const Tensor& a) { return UnaryKernel(a, simd::K().vexp); }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(a, [](float x) { return std::log(x); });
 }
 
-Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryKernel(a, simd::K().vsqrt); }
 
-Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
-}
+Tensor Abs(const Tensor& a) { return UnaryKernel(a, simd::K().vabs); }
 
 Tensor Sign(const Tensor& a) {
   return UnaryOp(a, [](float x) {
@@ -257,25 +295,13 @@ Tensor Sign(const Tensor& a) {
   });
 }
 
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
-}
+Tensor Tanh(const Tensor& a) { return UnaryKernel(a, simd::K().vtanh); }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    // Stable in both tails.
-    if (x >= 0.0f) {
-      float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  return UnaryKernel(a, simd::K().sigmoid);
 }
 
-Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
+Tensor Relu(const Tensor& a) { return UnaryKernel(a, simd::K().relu); }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   SAGDFN_CHECK_LE(lo, hi);
@@ -355,13 +381,14 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
   // Tiles over (outer, inner) own disjoint output elements; the axis loop
   // stays innermost-ordered, so sums accumulate in the sequential order
   // regardless of thread count.
+  const auto acc_add = simd::K().acc_add;
   ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
                 [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
                   for (int64_t o = o0; o < o1; ++o) {
                     for (int64_t x = 0; x < s.axis_size; ++x) {
                       const float* src = pa + (o * s.axis_size + x) * s.inner;
                       float* dst = po + o * s.inner;
-                      for (int64_t i = i0; i < i1; ++i) dst[i] += src[i];
+                      acc_add(dst + i0, src + i0, i1 - i0);
                     }
                   }
                 });
@@ -381,15 +408,14 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
   out.Fill(-std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
+  const auto max_into = simd::K().max_into;
   ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
                 [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
                   for (int64_t o = o0; o < o1; ++o) {
                     for (int64_t x = 0; x < s.axis_size; ++x) {
                       const float* src = pa + (o * s.axis_size + x) * s.inner;
                       float* dst = po + o * s.inner;
-                      for (int64_t i = i0; i < i1; ++i) {
-                        dst[i] = std::max(dst[i], src[i]);
-                      }
+                      max_into(dst + i0, src + i0, i1 - i0);
                     }
                   }
                 });
@@ -424,30 +450,15 @@ Tensor ArgMax(const Tensor& a, int64_t axis) {
 }
 
 Tensor SumAll(const Tensor& a) {
-  const int64_t n = a.size();
   const float* pa = a.data();
+  const auto sum = simd::K().sum;
   // Fixed-size blocks (independent of the thread count) with per-block
-  // double partials combined in block order keep the result identical for
-  // any pool size; small tensors take the single-accumulator path, which
-  // block order reproduces exactly.
-  const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
-  if (num_blocks <= 1) {
-    double acc = 0.0;
-    for (int64_t i = 0; i < n; ++i) acc += pa[i];
-    return Tensor::Scalar(static_cast<float>(acc));
-  }
-  std::vector<double> partials(num_blocks, 0.0);
-  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
-    for (int64_t blk = b0; blk < b1; ++blk) {
-      const int64_t lo = blk * kReduceBlock;
-      const int64_t hi = std::min<int64_t>(n, lo + kReduceBlock);
-      double acc = 0.0;
-      for (int64_t i = lo; i < hi; ++i) acc += pa[i];
-      partials[blk] = acc;
-    }
-  });
-  double total = 0.0;
-  for (double p : partials) total += p;
+  // double partials merged in block order keep the result identical for
+  // any pool size; see utils/block_reduce.h for the shared contract.
+  const double total = utils::DeterministicBlockReduce<double>(
+      a.size(), 0.0,
+      [&](int64_t lo, int64_t hi) { return sum(pa + lo, hi - lo); },
+      [](double& acc, double partial) { acc += partial; });
   return Tensor::Scalar(static_cast<float>(total));
 }
 
@@ -663,13 +674,14 @@ void IndexAddInto(Tensor& dst, int64_t axis,
   // (outer, inner) tiles touch disjoint destination elements and the x
   // loop runs in sequential order inside each tile, keeping accumulation
   // deterministic.
+  const auto acc_add = simd::K().acc_add;
   ParallelFor2D(s.outer, s.inner, ReduceOuterGrain(s), kReduceBlock,
                 [&](int64_t o0, int64_t o1, int64_t i0, int64_t i1) {
                   for (int64_t o = o0; o < o1; ++o) {
                     for (int64_t x = 0; x < k; ++x) {
                       const float* sp = ps + (o * k + x) * s.inner;
                       float* dp = pd + (o * axis_size + indices[x]) * s.inner;
-                      for (int64_t i = i0; i < i1; ++i) dp[i] += sp[i];
+                      acc_add(dp + i0, sp + i0, i1 - i0);
                     }
                   }
                 });

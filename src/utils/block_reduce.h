@@ -1,0 +1,59 @@
+#ifndef SAGDFN_UTILS_BLOCK_REDUCE_H_
+#define SAGDFN_UTILS_BLOCK_REDUCE_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "utils/arena.h"
+#include "utils/parallel.h"
+
+namespace sagdfn::utils {
+
+/// Deterministic parallel reduction over [0, n).
+///
+/// The range is cut into fixed kReduceBlock-sized blocks (independent of
+/// the thread count), `block_fn(lo, hi)` produces one partial per block on
+/// whichever worker claims it, and `merge(total, partial)` folds the
+/// partials back in ascending block order on the calling thread. Because
+/// both the block boundaries and the merge order are fixed, the result is
+/// bit-identical for every pool size — the single contract shared by the
+/// loss reductions (SumAll), the masked metrics, and ClipGradNorm, so a
+/// kernel change (e.g. a SIMD dispatch switch) can never make those three
+/// disagree on how elements are grouped.
+///
+/// Single-block ranges run inline with no arena traffic; the partial
+/// buffer for larger ranges comes from the calling thread's ScratchArena.
+///
+/// `Acc` must be trivially copyable (partials live in arena storage).
+/// `block_fn` must not depend on execution order; `merge` runs serially.
+template <typename Acc, typename BlockFn, typename MergeFn>
+Acc DeterministicBlockReduce(int64_t n, Acc init, BlockFn block_fn,
+                             MergeFn merge) {
+  static_assert(std::is_trivially_copyable_v<Acc>,
+                "block-reduce partials live in arena storage");
+  if (n <= 0) return init;
+  const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (num_blocks <= 1) {
+    Acc total = init;
+    merge(total, block_fn(int64_t{0}, n));
+    return total;
+  }
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::Scope scope(arena);
+  Acc* partials = arena.AllocArray<Acc>(num_blocks);
+  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t blk = b0; blk < b1; ++blk) {
+      const int64_t lo = blk * kReduceBlock;
+      const int64_t hi =
+          lo + kReduceBlock < n ? lo + kReduceBlock : n;
+      partials[blk] = block_fn(lo, hi);
+    }
+  });
+  Acc total = init;
+  for (int64_t blk = 0; blk < num_blocks; ++blk) merge(total, partials[blk]);
+  return total;
+}
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_BLOCK_REDUCE_H_

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro_ops_cost.json against the committed baseline.
+
+Usage:
+    tools/check_bench_regression.py [--fresh PATH] [--baseline PATH]
+        [--threshold PCT] [--require-simd-speedup]
+
+The cost JSON is the per-kernel timer registry written by
+bench/bench_micro_ops (obs::WriteRegistryJson): for every timer it records
+count / total_s / mean_s / min_s / max_s. This script:
+
+  * fails (exit 1) if any timer present in both files got more than
+    --threshold percent slower by mean_s;
+  * ignores timers faster than 1 microsecond in the baseline — at that
+    scale the registry clock's quantization noise exceeds any real
+    regression;
+  * with --require-simd-speedup, additionally requires at least two
+    `simd.<kernel>.avx2` timers to be >= 2x faster than their
+    `simd.<kernel>.scalar` partner in the FRESH run (skipped with a
+    warning when the fresh run carries no avx2 timers, e.g. a
+    SAGDFN_SIMD=off host).
+
+Exit codes: 0 ok, 1 regression (or speedup requirement unmet), 2 bad
+invocation or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Timers below this baseline mean are pure clock noise.
+MIN_COMPARABLE_S = 1e-6
+DEFAULT_THRESHOLD_PCT = 25.0
+REQUIRED_SPEEDUP = 2.0
+REQUIRED_SPEEDUP_PAIRS = 2
+
+
+def load_timers(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    timers = doc.get("timers")
+    if not isinstance(timers, dict):
+        print(f"error: {path} has no 'timers' object", file=sys.stderr)
+        sys.exit(2)
+    return timers
+
+
+def check_regressions(fresh, baseline, threshold_pct):
+    failures = []
+    compared = skipped = 0
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: timer '{name}' missing from fresh run; skipping")
+            continue
+        base_mean = baseline[name].get("mean_s", 0.0)
+        fresh_mean = fresh[name].get("mean_s", 0.0)
+        if base_mean < MIN_COMPARABLE_S:
+            skipped += 1
+            continue
+        compared += 1
+        delta_pct = 100.0 * (fresh_mean - base_mean) / base_mean
+        marker = "REGRESSION" if delta_pct > threshold_pct else "ok"
+        print(f"  {name:40s} base {base_mean:.3e}s  fresh {fresh_mean:.3e}s "
+              f"({delta_pct:+6.1f}%)  {marker}")
+        if delta_pct > threshold_pct:
+            failures.append((name, delta_pct))
+    print(f"compared {compared} timer(s), skipped {skipped} sub-microsecond")
+    return failures
+
+
+def check_simd_speedups(fresh):
+    """Counts simd.<kernel> pairs where avx2 beats scalar by >= 2x."""
+    kernels = {}
+    for name, stats in fresh.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "simd":
+            kernels.setdefault(parts[1], {})[parts[2]] = stats.get("mean_s")
+    pairs = {k: v for k, v in kernels.items()
+             if v.get("scalar") and v.get("avx2")}
+    if not pairs:
+        print("warning: no scalar/avx2 timer pairs in fresh run "
+              "(SAGDFN_SIMD=off host?); speedup check skipped")
+        return True
+    fast = 0
+    for kernel in sorted(pairs):
+        ratio = pairs[kernel]["scalar"] / pairs[kernel]["avx2"]
+        qualifies = ratio >= REQUIRED_SPEEDUP
+        fast += qualifies
+        print(f"  simd.{kernel:12s} scalar/avx2 = {ratio:5.2f}x"
+              f"{'  >= 2x' if qualifies else ''}")
+    ok = fast >= REQUIRED_SPEEDUP_PAIRS
+    print(f"{fast} kernel(s) at >= {REQUIRED_SPEEDUP:.0f}x "
+          f"(need {REQUIRED_SPEEDUP_PAIRS})")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="BENCH_micro_ops_cost.json",
+                        help="cost JSON from the run under test")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/BENCH_micro_ops_cost.json",
+                        help="committed baseline cost JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD_PCT,
+                        help="max tolerated per-timer slowdown, percent")
+    parser.add_argument("--require-simd-speedup", action="store_true",
+                        help="also require >= 2 simd kernels at >= 2x "
+                             "avx2-over-scalar in the fresh run")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    fresh = load_timers(args.fresh)
+    baseline = load_timers(args.baseline)
+
+    print(f"== regression check (threshold {args.threshold:.0f}%) ==")
+    failures = check_regressions(fresh, baseline, args.threshold)
+
+    speedup_ok = True
+    if args.require_simd_speedup:
+        print("== simd speedup check ==")
+        speedup_ok = check_simd_speedups(fresh)
+
+    if failures:
+        for name, delta in failures:
+            print(f"FAIL: {name} slowed down {delta:.1f}%", file=sys.stderr)
+        return 1
+    if not speedup_ok:
+        print("FAIL: simd speedup requirement unmet", file=sys.stderr)
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
