@@ -1,0 +1,256 @@
+// Google-benchmark latency/throughput benchmarks for the batched
+// inference engine (src/serve). Each BM_Serve* scenario replays a fixed
+// request stream from concurrent clients through an InferenceEngine and
+// records per-request end-to-end latency; after the run a compact
+// summary (p50/p99 latency in microseconds plus request throughput per
+// scenario) is written to BENCH_serve_latency.json so
+// tools/check_bench_regression.py can compare it against the committed
+// baseline in bench/baselines/.
+//
+// The model is small on purpose: the interesting numbers here are the
+// engine's queueing/batching overheads and their trend across PRs, not
+// the raw kernel cost (bench_micro_ops covers that).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sagdfn.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace sagdfn {
+namespace {
+
+struct ScenarioSummary {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double throughput_rps = 0.0;
+  int64_t requests = 0;
+};
+
+// Scenario name -> summary, written to BENCH_serve_latency.json by main().
+std::map<std::string, ScenarioSummary>& Summaries() {
+  static std::map<std::string, ScenarioSummary> summaries;
+  return summaries;
+}
+
+core::SagdfnConfig BenchConfig() {
+  core::SagdfnConfig config;
+  config.num_nodes = 32;
+  config.embedding_dim = 8;
+  config.m = 12;
+  config.k = 8;
+  config.hidden_dim = 16;
+  config.heads = 2;
+  config.ffn_hidden = 8;
+  config.diffusion_steps = 2;
+  config.history = 12;
+  config.horizon = 12;
+  config.seed = 7;
+  return config;
+}
+
+// One frozen model shared by every scenario: latency depends on shapes,
+// not on trained weights, so the randomly initialized model is enough.
+std::shared_ptr<const serve::FrozenModel> SharedModel() {
+  static std::shared_ptr<const serve::FrozenModel> model = [] {
+    auto raw = std::make_unique<core::SagdfnModel>(BenchConfig());
+    return std::shared_ptr<const serve::FrozenModel>(
+        serve::FrozenModel::Freeze(std::move(raw)));
+  }();
+  return model;
+}
+
+struct RequestStream {
+  std::vector<tensor::Tensor> xs;
+  std::vector<tensor::Tensor> tods;
+};
+
+const RequestStream& SharedStream(int64_t count) {
+  static std::map<int64_t, RequestStream> streams;
+  auto it = streams.find(count);
+  if (it != streams.end()) return it->second;
+  const core::SagdfnConfig config = BenchConfig();
+  utils::Rng rng(99);
+  RequestStream stream;
+  for (int64_t i = 0; i < count; ++i) {
+    stream.xs.push_back(tensor::Tensor::Normal(
+        tensor::Shape({config.history, config.num_nodes, 2}), rng));
+    stream.tods.push_back(tensor::Tensor::Uniform(
+        tensor::Shape({config.horizon}), rng, 0.0f, 1.0f));
+  }
+  return streams.emplace(count, std::move(stream)).first->second;
+}
+
+double PercentileUs(std::vector<double> sorted_us, double pct) {
+  if (sorted_us.empty()) return 0.0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const auto idx = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+/// Replays `requests` windows from `clients` submitter threads and
+/// appends each request's end-to-end latency to `latencies_us`. Returns
+/// the wall-clock seconds for the whole replay.
+double ReplayOnce(serve::InferenceEngine& engine, int64_t requests,
+                  int64_t clients, std::vector<double>* latencies_us) {
+  const RequestStream& stream = SharedStream(requests);
+  std::vector<std::future<serve::Forecast>> futures(requests);
+  std::vector<std::chrono::steady_clock::time_point> started(requests);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < requests; i += clients) {
+        started[i] = std::chrono::steady_clock::now();
+        futures[i] = engine.Submit(stream.xs[i], stream.tods[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int64_t i = 0; i < requests; ++i) {
+    futures[i].wait();
+    latencies_us->push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - started[i])
+            .count());
+  }
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - wall_start)
+      .count();
+}
+
+/// workers x max_batch sweep: the engine's end-to-end request latency
+/// under a bursty 4-client load.
+void BM_ServeLatency(benchmark::State& state) {
+  const int64_t workers = state.range(0);
+  const int64_t max_batch = state.range(1);
+  const int64_t requests = 64;
+  serve::EngineOptions options;
+  options.num_workers = workers;
+  options.max_batch = max_batch;
+  options.max_wait_us = 200;
+  serve::InferenceEngine engine(SharedModel(), options);
+
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    wall_s += ReplayOnce(engine, requests, /*clients=*/4, &latencies_us);
+  }
+  ScenarioSummary summary;
+  summary.p50_us = PercentileUs(latencies_us, 50.0);
+  summary.p99_us = PercentileUs(latencies_us, 99.0);
+  summary.requests = static_cast<int64_t>(latencies_us.size());
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  Summaries()["serve.w" + std::to_string(workers) + ".b" +
+              std::to_string(max_batch)] = summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+}
+BENCHMARK(BM_ServeLatency)
+    ->ArgNames({"workers", "batch"})
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Unbatched floor: the same windows one at a time straight through
+/// FrozenModel::Predict on the caller thread — what the engine's
+/// batching and queueing overheads are measured against.
+void BM_ServeUnbatchedBaseline(benchmark::State& state) {
+  const int64_t requests = 64;
+  const RequestStream& stream = SharedStream(requests);
+  std::shared_ptr<const serve::FrozenModel> model = SharedModel();
+  const core::SagdfnConfig& config = model->config();
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < requests; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      tensor::Tensor x(tensor::Shape(
+          {1, config.history, config.num_nodes, 2}));
+      std::copy(stream.xs[i].data(), stream.xs[i].data() + stream.xs[i].size(),
+                x.data());
+      tensor::Tensor tod(tensor::Shape({1, config.horizon}));
+      std::copy(stream.tods[i].data(),
+                stream.tods[i].data() + stream.tods[i].size(), tod.data());
+      benchmark::DoNotOptimize(model->Predict(x, tod));
+      latencies_us.push_back(
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    wall_s += std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  }
+  ScenarioSummary summary;
+  summary.p50_us = PercentileUs(latencies_us, 50.0);
+  summary.p99_us = PercentileUs(latencies_us, 99.0);
+  summary.requests = static_cast<int64_t>(latencies_us.size());
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  Summaries()["serve.unbatched"] = summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+}
+BENCHMARK(BM_ServeUnbatchedBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+utils::Status WriteSummaryJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return utils::Status::Internal("cannot open " + path);
+  }
+  std::fprintf(f, "{\n  \"serve\": {\n");
+  size_t emitted = 0;
+  for (const auto& [name, s] : Summaries()) {
+    std::fprintf(f,
+                 "    \"%s\": {\"p50_us\": %.3f, \"p99_us\": %.3f, "
+                 "\"throughput_rps\": %.3f, \"requests\": %lld}%s\n",
+                 name.c_str(), s.p50_us, s.p99_us, s.throughput_rps,
+                 static_cast<long long>(s.requests),
+                 ++emitted < Summaries().size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return utils::Status::Ok();
+}
+
+}  // namespace
+}  // namespace sagdfn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  const sagdfn::utils::Status status =
+      sagdfn::WriteSummaryJson("BENCH_serve_latency.json");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[serve] latency summary written to BENCH_serve_latency.json\n");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -160,6 +160,23 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
                                   int64_t iteration,
                                   const tensor::Tensor* teacher,
                                   double teacher_prob) {
+  MaybeResample(iteration);
+  ag::Variable a_s = Adjacency();
+  // (D + I)^{-1} depends only on a_s: compute once for the whole
+  // encoder-decoder rollout instead of per conv per timestep.
+  ag::Variable inv_deg = FastGraphConv::InverseDegree(a_s);
+  return Rollout(a_s, inv_deg, index_set_, x, future_tod, teacher,
+                 teacher_prob, &rng_);
+}
+
+ag::Variable SagdfnModel::Rollout(const ag::Variable& a_s,
+                                  const ag::Variable& inv_deg,
+                                  const std::vector<int64_t>& index_set,
+                                  const tensor::Tensor& x,
+                                  const tensor::Tensor& future_tod,
+                                  const tensor::Tensor* teacher,
+                                  double teacher_prob,
+                                  utils::Rng* sampling_rng) const {
   SAGDFN_CHECK_EQ(x.ndim(), 4);
   const int64_t b = x.dim(0);
   const int64_t h = x.dim(1);
@@ -171,12 +188,8 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
   const int64_t f = config_.horizon;
   SAGDFN_CHECK_EQ(future_tod.dim(0), b);
   SAGDFN_CHECK_EQ(future_tod.dim(1), f);
-
-  MaybeResample(iteration);
-  ag::Variable a_s = Adjacency();
-  // (D + I)^{-1} depends only on a_s: compute once for the whole
-  // encoder-decoder rollout instead of per conv per timestep.
-  ag::Variable inv_deg = FastGraphConv::InverseDegree(a_s);
+  SAGDFN_CHECK(teacher == nullptr || sampling_rng != nullptr)
+      << "scheduled sampling needs an RNG";
 
   // Encoder over the h history steps; each layer consumes the previous
   // layer's state sequence.
@@ -192,7 +205,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
       step = ag::Reshape(ag::Slice(x_var, 1, t, t + 1), {b, n, c});
       ag::Variable layer_input = step;
       for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
-        hidden[layer] = cells_[layer]->Forward(a_s, index_set_,
+        hidden[layer] = cells_[layer]->Forward(a_s, index_set,
                                                layer_input, hidden[layer],
                                                &inv_deg);
         layer_input = hidden[layer];
@@ -214,7 +227,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
   for (int64_t t = 0; t < f; ++t) {
     ag::Variable layer_input = dec_input;
     for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
-      hidden[layer] = cells_[layer]->Forward(a_s, index_set_, layer_input,
+      hidden[layer] = cells_[layer]->Forward(a_s, index_set, layer_input,
                                              hidden[layer], &inv_deg);
       layer_input = hidden[layer];
     }
@@ -236,7 +249,7 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
       }
       ag::Variable value = ag::Reshape(pred, {b, n, 1});
       if (teacher != nullptr && training() &&
-          rng_.Bernoulli(teacher_prob)) {
+          sampling_rng->Bernoulli(teacher_prob)) {
         value = ag::Variable(
             tensor::Slice(*teacher, 1, t, t + 1).Reshape({b, n, 1}));
       }
@@ -255,6 +268,36 @@ tensor::Tensor SagdfnModel::ComputeSlimAdjacency() {
   ag::NoGradGuard guard;
   MaybeResample(/*iteration=*/0);
   return Adjacency().value();
+}
+
+AdjacencySnapshot SagdfnModel::Snapshot() {
+  ag::NoGradGuard guard;
+  // Freeze through the eval path: an already-sampled (trained or
+  // restored) index set is kept as-is; a cold-start model gets one
+  // deterministic exploration-free draw. A model snapshotted mid-training
+  // must not advance its exploration RNG.
+  const bool was_training = training();
+  if (was_training) SetTraining(false);
+  MaybeResample(/*iteration=*/0);
+  if (was_training) SetTraining(true);
+  AdjacencySnapshot snapshot;
+  snapshot.index_set = index_set_;
+  ag::Variable a_s = Adjacency();
+  snapshot.a_s = a_s.value();
+  snapshot.inv_deg = FastGraphConv::InverseDegree(a_s).value();
+  return snapshot;
+}
+
+tensor::Tensor SagdfnModel::Predict(
+    const tensor::Tensor& x, const tensor::Tensor& future_tod,
+    const AdjacencySnapshot& snapshot) const {
+  SAGDFN_CHECK_EQ(static_cast<int64_t>(snapshot.index_set.size()),
+                  config_.m);
+  ag::NoGradGuard guard;
+  return Rollout(ag::Variable(snapshot.a_s), ag::Variable(snapshot.inv_deg),
+                 snapshot.index_set, x, future_tod, /*teacher=*/nullptr,
+                 /*teacher_prob=*/0.0, /*sampling_rng=*/nullptr)
+      .value();
 }
 
 tensor::Tensor SagdfnModel::DenseAdjacency() {

@@ -13,6 +13,18 @@
 
 namespace sagdfn::core {
 
+/// Frozen inference-time view of the learned graph: the slim adjacency
+/// A_s [N, M], its inverse-degree column (D + I)^{-1} [N, 1], and the
+/// significant-node index set I. Computed once (no tape, no exploration)
+/// via SagdfnModel::Snapshot() and shared read-only across serving
+/// workers — the whole point of the slim N x M factorization is that this
+/// snapshot is small enough to pin per model replica.
+struct AdjacencySnapshot {
+  tensor::Tensor a_s;              // [N, M]
+  tensor::Tensor inv_deg;          // [N, 1]
+  std::vector<int64_t> index_set;  // M node ids (columns of a_s)
+};
+
 /// Hyper-parameters of the SAGDFN model (paper Section V-A,
 /// "Implementation": d = 100, M = 100, K = 80, J = 3, hidden 64, 8 heads,
 /// one encoder-decoder layer; defaults here are scaled for CPU use and
@@ -101,6 +113,26 @@ class SagdfnModel : public SeqModel {
   /// and index set (inference-time inspection; no tape).
   tensor::Tensor ComputeSlimAdjacency();
 
+  /// Freezes the learned graph for serving: one exploration-free index
+  /// set (reusing the trained/restored set when present), the slim
+  /// adjacency, and its inverse-degree column, all computed without a
+  /// tape. The snapshot is immutable and safe to share read-only across
+  /// threads; pair it with Predict().
+  AdjacencySnapshot Snapshot();
+
+  /// Inference-only forward pass against a frozen snapshot: no tape, no
+  /// resampling, no scheduled sampling, no RNG use, and no mutation of
+  /// model state — safe to call concurrently from many threads on one
+  /// model instance (parameters are read-only inside). `x` is
+  /// [B, h, N, C], `future_tod` [B, f]; returns scaled predictions
+  /// [B, f, N]. Per batch row the result is bit-identical regardless of
+  /// which other rows share the batch (every kernel treats batch rows
+  /// independently), which is what makes dynamic micro-batching in
+  /// serve::InferenceEngine deterministic.
+  tensor::Tensor Predict(const tensor::Tensor& x,
+                         const tensor::Tensor& future_tod,
+                         const AdjacencySnapshot& snapshot) const;
+
   /// Densifies the learned adjacency to [N, N] (zero outside columns I),
   /// for comparison against a latent ground-truth graph.
   tensor::Tensor DenseAdjacency();
@@ -114,6 +146,19 @@ class SagdfnModel : public SeqModel {
 
   /// A_s from the configured attention variant.
   autograd::Variable Adjacency();
+
+  /// Shared encoder-decoder rollout over a fixed adjacency. `sampling_rng`
+  /// drives the scheduled-sampling coin flips and may be null when
+  /// `teacher` is null (the inference path); with it null the rollout is
+  /// const in the deep sense — no model state is touched.
+  autograd::Variable Rollout(const autograd::Variable& a_s,
+                             const autograd::Variable& inv_deg,
+                             const std::vector<int64_t>& index_set,
+                             const tensor::Tensor& x,
+                             const tensor::Tensor& future_tod,
+                             const tensor::Tensor* teacher,
+                             double teacher_prob,
+                             utils::Rng* sampling_rng) const;
 
   SagdfnConfig config_;
   utils::Rng rng_;

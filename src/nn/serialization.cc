@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "utils/fault.h"
 #include "utils/logging.h"
@@ -102,6 +104,9 @@ utils::Status LoadCheckpointImpl(Checkpoint* checkpoint,
   if (!in.is_open()) {
     return utils::Status::NotFound("cannot open: " + path);
   }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   ByteSource src(in);
 
   uint32_t magic = 0;
@@ -124,10 +129,26 @@ utils::Status LoadCheckpointImpl(Checkpoint* checkpoint,
                                           path);
   }
 
+  const uint64_t header_bytes = src.consumed();
+  // Anchor the declared payload to the actual file size: every later
+  // per-entry bound is relative to payload_bytes, so a corrupted (huge)
+  // payload field would otherwise let a corrupted dim/word count size a
+  // multi-terabyte allocation before any read fails.
+  if (payload_bytes != file_size - header_bytes) {
+    return utils::Status::InvalidArgument(
+        "declared payload (" + std::to_string(payload_bytes) +
+        " bytes) does not match file size: " + path);
+  }
+  // Each entry consumes at least a name length field plus a rank/word
+  // count (16 bytes), which bounds the counts before the reserves trust
+  // them.
+  if (tensor_count > payload_bytes / 16 || meta_count > payload_bytes / 16) {
+    return utils::Status::InvalidArgument("implausible entry count: " + path);
+  }
+
   Checkpoint result;
   result.tensors.reserve(tensor_count);
   result.meta.reserve(meta_count);
-  const uint64_t header_bytes = src.consumed();
 
   for (uint64_t i = 0; i < tensor_count; ++i) {
     std::string name;
@@ -156,6 +177,15 @@ utils::Status LoadCheckpointImpl(Checkpoint* checkpoint,
             "implausible element count for " + name + ": " + path);
       }
     }
+    // A corrupted dim field must be rejected before the allocation it
+    // sizes: the tensor's data cannot occupy more bytes than the header
+    // says remain in the payload.
+    const uint64_t payload_consumed = src.consumed() - header_bytes;
+    if (payload_consumed > payload_bytes ||
+        elements * sizeof(float) > payload_bytes - payload_consumed) {
+      return utils::Status::InvalidArgument(
+          "tensor " + name + " exceeds declared payload: " + path);
+    }
     tensor::Tensor value{tensor::Shape(dims)};
     if (!src.Read(value.data(), value.size() * sizeof(float))) {
       return utils::Status::InvalidArgument("truncated data for " + name +
@@ -175,6 +205,12 @@ utils::Status LoadCheckpointImpl(Checkpoint* checkpoint,
     if (!src.ReadU64(&words) || words > kMaxElements) {
       return utils::Status::InvalidArgument("corrupt meta size for " + name +
                                             ": " + path);
+    }
+    const uint64_t payload_consumed = src.consumed() - header_bytes;
+    if (payload_consumed > payload_bytes ||
+        words * sizeof(uint64_t) > payload_bytes - payload_consumed) {
+      return utils::Status::InvalidArgument(
+          "meta " + name + " exceeds declared payload: " + path);
     }
     std::vector<uint64_t> values(words);
     if (!src.Read(values.data(), words * sizeof(uint64_t))) {
@@ -350,7 +386,11 @@ utils::Status LoadModuleFromCheckpoint(Module* module,
                                        const Checkpoint& checkpoint,
                                        const std::string& prefix) {
   std::map<std::string, tensor::Tensor> by_name = StateMap(module);
-  uint64_t matched = 0;
+  // Two passes so a bad checkpoint can never leave the module half
+  // overwritten: validate every record (membership, shape, duplicates),
+  // and only if the whole set is coherent copy any data.
+  std::vector<std::pair<tensor::Tensor*, const tensor::Tensor*>> plan;
+  std::set<std::string> seen;
   for (const auto& [name, value] : checkpoint.tensors) {
     if (name.compare(0, prefix.size(), prefix) != 0) continue;
     const std::string local = name.substr(prefix.size());
@@ -358,21 +398,25 @@ utils::Status LoadModuleFromCheckpoint(Module* module,
     if (it == by_name.end()) {
       return utils::Status::NotFound("unknown entry in checkpoint: " + name);
     }
+    if (!seen.insert(local).second) {
+      return utils::Status::InvalidArgument(
+          "duplicate entry in checkpoint: " + name);
+    }
     if (!(value.shape() == it->second.shape())) {
       return utils::Status::InvalidArgument(
           "shape mismatch for " + name + ": file " +
           value.shape().ToString() + " vs module " +
           it->second.shape().ToString());
     }
-    it->second.CopyFrom(value);
-    ++matched;
+    plan.emplace_back(&it->second, &value);
   }
-  if (matched != by_name.size()) {
+  if (plan.size() != by_name.size()) {
     return utils::Status::InvalidArgument(
-        "state count mismatch: checkpoint has " + std::to_string(matched) +
-        " entries under '" + prefix + "', module has " +
-        std::to_string(by_name.size()));
+        "state count mismatch: checkpoint has " +
+        std::to_string(plan.size()) + " entries under '" + prefix +
+        "', module has " + std::to_string(by_name.size()));
   }
+  for (auto& [dst, src] : plan) dst->CopyFrom(*src);
   module->OnStateLoaded();
   return utils::Status::Ok();
 }

@@ -1,0 +1,249 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "utils/check.h"
+
+namespace sagdfn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const FrozenModel> model,
+                                 const EngineOptions& options)
+    : model_(std::move(model)), options_(options) {
+  SAGDFN_CHECK(model_ != nullptr);
+  SAGDFN_CHECK_GE(options_.num_workers, 1);
+  SAGDFN_CHECK_GE(options_.max_batch, 1);
+  SAGDFN_CHECK_GE(options_.max_wait_us, 0);
+  SAGDFN_CHECK_GE(options_.max_queue_depth, 1);
+  workers_.reserve(options_.num_workers);
+  for (int64_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { Shutdown(); }
+
+std::future<Forecast> InferenceEngine::RejectedFuture(utils::Status status) {
+  std::promise<Forecast> promise;
+  std::future<Forecast> future = promise.get_future();
+  promise.set_value(Forecast{std::move(status), tensor::Tensor()});
+  return future;
+}
+
+std::future<Forecast> InferenceEngine::Submit(tensor::Tensor x,
+                                              tensor::Tensor future_tod) {
+  const auto reject = [this](utils::Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    obs::Telemetry::Global().AddCounter("serve.requests.rejected");
+    return RejectedFuture(std::move(status));
+  };
+
+  const core::SagdfnConfig& config = model_->config();
+  if (x.ndim() != 3 || x.dim(0) != config.history ||
+      x.dim(1) != config.num_nodes || x.dim(2) != config.input_dim) {
+    return reject(utils::Status::InvalidArgument(
+        "request x must be [h, N, C] = [" +
+        std::to_string(config.history) + ", " +
+        std::to_string(config.num_nodes) + ", " +
+        std::to_string(config.input_dim) + "], got " +
+        x.shape().ToString()));
+  }
+  if (future_tod.ndim() != 1 || future_tod.dim(0) != config.horizon) {
+    return reject(utils::Status::InvalidArgument(
+        "request future_tod must be [f] = [" +
+        std::to_string(config.horizon) + "], got " +
+        future_tod.shape().ToString()));
+  }
+
+  Request request;
+  request.x = std::move(x);
+  request.future_tod = std::move(future_tod);
+  request.enqueued = Clock::now();
+  std::future<Forecast> future = request.promise.get_future();
+
+  utils::Status reject_status;
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject_status = utils::Status::FailedPrecondition(
+          "inference engine is shutting down");
+    } else if (static_cast<int64_t>(queue_.size()) >=
+               options_.max_queue_depth) {
+      reject_status = utils::Status::ResourceExhausted(
+          "inference queue full (" +
+          std::to_string(options_.max_queue_depth) + " requests)");
+    } else {
+      queue_.push_back(std::move(request));
+      ++stats_.submitted;
+      depth = static_cast<int64_t>(queue_.size());
+    }
+  }
+  if (!reject_status.ok()) return reject(std::move(reject_status));
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  telemetry.AddCounter("serve.requests.submitted");
+  telemetry.SetGauge("serve.queue_depth", static_cast<double>(depth));
+  queue_cv_.notify_one();
+  return future;
+}
+
+void InferenceEngine::WorkerLoop() {
+  const auto max_wait = std::chrono::microseconds(options_.max_wait_us);
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (queue_.empty()) {
+          if (stopping_) return;
+          queue_cv_.wait(lock);
+          continue;
+        }
+        // A batch is ready when it is full, its oldest request has waited
+        // max_wait_us, or the engine is draining (no point waiting for
+        // arrivals that can no longer come).
+        if (stopping_ ||
+            static_cast<int64_t>(queue_.size()) >= options_.max_batch ||
+            options_.max_wait_us == 0) {
+          break;
+        }
+        const auto deadline = queue_.front().enqueued + max_wait;
+        if (Clock::now() >= deadline) break;
+        queue_cv_.wait_until(lock, deadline);
+      }
+      const int64_t take = std::min<int64_t>(
+          options_.max_batch, static_cast<int64_t>(queue_.size()));
+      batch.reserve(take);
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      obs::Telemetry::Global().SetGauge(
+          "serve.queue_depth", static_cast<double>(queue_.size()));
+    }
+    // Wake siblings: more requests may remain for another batch, and
+    // drain-mode shutdown needs every worker to re-check the queue.
+    queue_cv_.notify_all();
+    RunBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::RunBatch(std::vector<Request> batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  SAGDFN_CHECK_GT(b, 0);
+  const core::SagdfnConfig& config = model_->config();
+  const int64_t sample = config.history * config.num_nodes *
+                         config.input_dim;
+  const int64_t f = config.horizon;
+  const int64_t n = config.num_nodes;
+
+  // Stack along the batch dimension. Predict() is batch-row independent,
+  // so this composition does not change any request's bytes.
+  tensor::Tensor x(tensor::Shape(
+      {b, config.history, config.num_nodes, config.input_dim}));
+  tensor::Tensor tod(tensor::Shape({b, f}));
+  for (int64_t i = 0; i < b; ++i) {
+    std::memcpy(x.data() + i * sample, batch[i].x.data(),
+                sample * sizeof(float));
+    std::memcpy(tod.data() + i * f, batch[i].future_tod.data(),
+                f * sizeof(float));
+  }
+
+  tensor::Tensor predictions;
+  {
+    SAGDFN_SCOPED_TIMER("serve.batch.compute");
+    predictions = model_->Predict(x, tod);  // [B, f, N]
+  }
+
+  obs::Telemetry& telemetry = obs::Telemetry::Global();
+  for (int64_t i = 0; i < b; ++i) {
+    tensor::Tensor forecast(tensor::Shape({f, n}));
+    std::memcpy(forecast.data(), predictions.data() + i * f * n,
+                f * n * sizeof(float));
+    telemetry.RecordDuration("serve.request.latency",
+                             SecondsSince(batch[i].enqueued));
+    batch[i].promise.set_value(
+        Forecast{utils::Status::Ok(), std::move(forecast)});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed += b;
+    ++stats_.batches;
+  }
+  telemetry.AddCounter("serve.requests.completed", b);
+  telemetry.AddCounter("serve.batches");
+  telemetry.SetGauge("serve.last_batch_size", static_cast<double>(b));
+}
+
+void InferenceEngine::Shutdown() {
+  // Serializes concurrent Shutdown()/destructor calls; workers never call
+  // Shutdown, so holding this across the join cannot deadlock.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+
+  std::vector<Request> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!options_.drain_on_shutdown) {
+      while (!queue_.empty()) {
+        rejected.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.rejected += static_cast<int64_t>(rejected.size());
+    }
+  }
+  queue_cv_.notify_all();
+  for (Request& request : rejected) {
+    request.promise.set_value(Forecast{
+        utils::Status::FailedPrecondition(
+            "inference engine shut down before this request ran"),
+        tensor::Tensor()});
+    obs::Telemetry::Global().AddCounter("serve.requests.rejected");
+  }
+
+  if (!joined_) {
+    for (std::thread& worker : workers_) worker.join();
+    joined_ = true;
+  }
+  // Drain mode leaves nothing behind by construction; double-check so a
+  // future can never dangle even if a policy bug slipped through.
+  std::vector<Request> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!queue_.empty()) {
+      leftovers.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  for (Request& request : leftovers) {
+    request.promise.set_value(Forecast{
+        utils::Status::Internal("request missed by shutdown drain"),
+        tensor::Tensor()});
+  }
+}
+
+EngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats snapshot = stats_;
+  snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+  return snapshot;
+}
+
+}  // namespace sagdfn::serve

@@ -1,0 +1,141 @@
+#ifndef SAGDFN_SERVE_ENGINE_H_
+#define SAGDFN_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/frozen_model.h"
+#include "tensor/tensor.h"
+#include "utils/status.h"
+
+namespace sagdfn::serve {
+
+/// Batching / concurrency knobs of the InferenceEngine.
+struct EngineOptions {
+  /// Worker threads draining the submission queue. Each worker runs one
+  /// micro-batch at a time through the shared FrozenModel.
+  int64_t num_workers = 1;
+  /// A micro-batch flushes as soon as this many requests are pending...
+  int64_t max_batch = 8;
+  /// ...or this long after its oldest request arrived, whichever comes
+  /// first (0 = never wait: each worker takes whatever is queued).
+  int64_t max_wait_us = 1000;
+  /// Submission backpressure: Submit() rejects (ResourceExhausted) when
+  /// this many requests are already queued.
+  int64_t max_queue_depth = 4096;
+  /// Shutdown policy for queued-but-unstarted requests: true runs them to
+  /// completion, false rejects them (FailedPrecondition). Either way every
+  /// outstanding future is satisfied before the destructor returns — no
+  /// future is ever left dangling.
+  bool drain_on_shutdown = true;
+};
+
+/// Result of one request: `prediction` is the scaled forecast [f, N] when
+/// `status.ok()`, empty otherwise.
+struct Forecast {
+  utils::Status status;
+  tensor::Tensor prediction;
+};
+
+/// Point-in-time engine counters (all monotonic except queue_depth).
+struct EngineStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t batches = 0;
+  int64_t queue_depth = 0;
+};
+
+/// Concurrent batched inference engine over one FrozenModel.
+///
+/// Requests enter a submission queue; worker threads assemble dynamic
+/// micro-batches along the batch dimension (flush on max_batch or
+/// max_wait_us), run the shared frozen model (whose kernels in turn use
+/// the global ParallelFor/SIMD backend), split the [B, f, N] output back
+/// into per-request forecasts, and fulfill the promises.
+///
+/// Determinism contract: every kernel in the rollout treats batch rows
+/// independently, so a request's forecast is byte-identical whether it
+/// ran alone, in any micro-batch composition, serially, or under any
+/// worker count or arrival interleaving (tests/serve_engine_test.cc
+/// memcmp-verifies this).
+///
+/// Telemetry (src/obs): counters serve.requests.{submitted,completed,
+/// rejected} and serve.batches, gauges serve.queue_depth and
+/// serve.last_batch_size, timer serve.batch.compute, and per-request
+/// end-to-end latency under serve.request.latency.
+class InferenceEngine {
+ public:
+  /// `model` must outlive the engine; it is shared read-only.
+  InferenceEngine(std::shared_ptr<const FrozenModel> model,
+                  const EngineOptions& options);
+
+  /// Calls Shutdown(): all outstanding futures are satisfied first.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one request. `x` is [h, N, C], `future_tod` [f]. The
+  /// returned future always becomes ready: with the forecast, or with a
+  /// non-ok status when the request is malformed (InvalidArgument, checked
+  /// here so workers can never abort on bad input), the queue is full
+  /// (ResourceExhausted), or the engine is shutting down
+  /// (FailedPrecondition).
+  std::future<Forecast> Submit(tensor::Tensor x, tensor::Tensor future_tod);
+
+  /// Stops intake, then drains or rejects the queue per
+  /// EngineOptions::drain_on_shutdown and joins the workers. Idempotent;
+  /// after it returns no future is pending.
+  void Shutdown();
+
+  EngineStats stats() const;
+  const EngineOptions& options() const { return options_; }
+  const FrozenModel& model() const { return *model_; }
+
+ private:
+  struct Request {
+    tensor::Tensor x;           // [h, N, C]
+    tensor::Tensor future_tod;  // [f]
+    std::promise<Forecast> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Rejects immediately with `status` (never touches the queue).
+  static std::future<Forecast> RejectedFuture(utils::Status status);
+
+  void WorkerLoop();
+
+  /// Stacks `batch`, runs the frozen model, splits the output, and
+  /// fulfills every promise in the batch.
+  void RunBatch(std::vector<Request> batch);
+
+  std::shared_ptr<const FrozenModel> model_;
+  EngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // workers wait here
+  std::deque<Request> queue_;         // guarded by mu_
+  bool stopping_ = false;             // guarded by mu_
+
+  /// Serializes Shutdown() callers (never taken by workers); `joined_` is
+  /// guarded by it.
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
+
+  // Counters (guarded by mu_; cheap enough at request granularity).
+  EngineStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sagdfn::serve
+
+#endif  // SAGDFN_SERVE_ENGINE_H_

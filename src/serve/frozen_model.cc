@@ -1,0 +1,37 @@
+#include "serve/frozen_model.h"
+
+#include <utility>
+
+#include "nn/serialization.h"
+#include "utils/check.h"
+
+namespace sagdfn::serve {
+
+FrozenModel::FrozenModel(std::unique_ptr<core::SagdfnModel> model,
+                         core::AdjacencySnapshot snapshot)
+    : model_(std::move(model)), snapshot_(std::move(snapshot)) {}
+
+std::unique_ptr<FrozenModel> FrozenModel::Freeze(
+    std::unique_ptr<core::SagdfnModel> model) {
+  SAGDFN_CHECK(model != nullptr);
+  model->SetTraining(false);
+  core::AdjacencySnapshot snapshot = model->Snapshot();
+  return std::unique_ptr<FrozenModel>(
+      new FrozenModel(std::move(model), std::move(snapshot)));
+}
+
+utils::Status FrozenModel::Load(const core::SagdfnConfig& config,
+                                const std::string& checkpoint_path,
+                                std::unique_ptr<FrozenModel>* out) {
+  auto model = std::make_unique<core::SagdfnModel>(config);
+  SAGDFN_RETURN_IF_ERROR(nn::LoadModule(model.get(), checkpoint_path));
+  *out = Freeze(std::move(model));
+  return utils::Status::Ok();
+}
+
+tensor::Tensor FrozenModel::Predict(const tensor::Tensor& x,
+                                    const tensor::Tensor& future_tod) const {
+  return model_->Predict(x, future_tod, snapshot_);
+}
+
+}  // namespace sagdfn::serve

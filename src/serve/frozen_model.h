@@ -1,0 +1,52 @@
+#ifndef SAGDFN_SERVE_FROZEN_MODEL_H_
+#define SAGDFN_SERVE_FROZEN_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/sagdfn.h"
+#include "utils/status.h"
+
+namespace sagdfn::serve {
+
+/// An immutable model snapshot prepared for serving: a SagdfnModel in
+/// eval mode (dropout off, SNS exploration disabled) plus the frozen
+/// adjacency snapshot (slim A_s + inverse degrees + index set) computed
+/// exactly once. After Freeze()/Load() nothing in here mutates, so one
+/// FrozenModel is shared read-only by every InferenceEngine worker.
+class FrozenModel {
+ public:
+  /// Takes ownership of an already-built (trained or restored) model,
+  /// switches it to eval mode, and freezes the adjacency.
+  static std::unique_ptr<FrozenModel> Freeze(
+      std::unique_ptr<core::SagdfnModel> model);
+
+  /// Builds a model from `config`, restores it from a v2 checkpoint
+  /// written by nn::SaveModule (parameters, buffers, and the trained
+  /// index set), and freezes it. Fails cleanly — never returns a
+  /// partially populated model — on any checkpoint mismatch.
+  static utils::Status Load(const core::SagdfnConfig& config,
+                            const std::string& checkpoint_path,
+                            std::unique_ptr<FrozenModel>* out);
+
+  /// Thread-safe batched inference: `x` [B, h, N, C], `future_tod`
+  /// [B, f] -> scaled predictions [B, f, N]. Per batch row the result is
+  /// bit-identical however the rows are batched.
+  tensor::Tensor Predict(const tensor::Tensor& x,
+                         const tensor::Tensor& future_tod) const;
+
+  const core::SagdfnModel& model() const { return *model_; }
+  const core::AdjacencySnapshot& snapshot() const { return snapshot_; }
+  const core::SagdfnConfig& config() const { return model_->config(); }
+
+ private:
+  FrozenModel(std::unique_ptr<core::SagdfnModel> model,
+              core::AdjacencySnapshot snapshot);
+
+  std::unique_ptr<core::SagdfnModel> model_;
+  core::AdjacencySnapshot snapshot_;
+};
+
+}  // namespace sagdfn::serve
+
+#endif  // SAGDFN_SERVE_FROZEN_MODEL_H_

@@ -1,12 +1,16 @@
 // AVX2+FMA kernel table. This translation unit is compiled with
 // -mavx2 -mfma (see src/tensor/CMakeLists.txt) and must only be CALLED
 // after runtime CPUID detection confirms support — simd.cc guarantees
-// that. Every kernel processes full 8-float lanes then a scalar tail, so
-// for a fixed level results are bit-identical regardless of how callers
-// partition the range across threads (lane math per output element never
-// depends on the chunk boundaries; the dot/sum reductions fix their lane
-// accumulator layout per call instead, so equal (lo, hi) blocks always
-// reduce identically).
+// that. Every elementwise kernel computes each output element with the
+// same instruction sequence regardless of its offset within the call's
+// range: partial tails either run the lane kernel on a zero-padded
+// block (exp/sigmoid/tanh, see Tail8) or a scalar expression with the
+// same rounding behaviour (std::fma where the lanes fuse). That makes
+// results bit-identical regardless of how callers partition the range
+// across threads OR where an element lands inside a batch — batched and
+// unbatched inference must agree byte-for-byte (tests/serve_engine_test
+// pins this). The dot/sum reductions fix their lane accumulator layout
+// per call instead, so equal (lo, hi) blocks always reduce identically.
 //
 // exp/sigmoid/tanh use a Cephes-style polynomial exp (~2 ulp over the
 // clamped range) rather than libm, so they differ from the scalar level
@@ -80,6 +84,45 @@ inline __m256 ExpPs(__m256 x) {
 
 inline __m256 AbsPs(__m256 x) {
   return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), x);
+}
+
+// Stable two-branch sigmoid, vectorized: z = e^{-|x|} <= 1, then
+// x >= 0 -> 1/(1+z), x < 0 -> z/(1+z). NaN propagates the input.
+inline __m256 SigmoidPs(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 z = ExpPs(_mm256_xor_ps(AbsPs(x), _mm256_set1_ps(-0.0f)));
+  const __m256 denom = _mm256_add_ps(one, z);
+  const __m256 nonneg = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GE_OQ);
+  const __m256 num = _mm256_blendv_ps(z, one, nonneg);
+  __m256 y = _mm256_div_ps(num, denom);
+  const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+  return _mm256_blendv_ps(y, x, nan_mask);
+}
+
+// tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored at the
+// end; e^{-2|x|} <= 1 so there is no overflow anywhere.
+inline __m256 TanhPs(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 ax = AbsPs(x);
+  const __m256 t = ExpPs(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0f)));
+  __m256 y = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+  y = _mm256_or_ps(y, _mm256_and_ps(x, _mm256_set1_ps(-0.0f)));
+  const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+  return _mm256_blendv_ps(y, x, nan_mask);
+}
+
+// Runs a lane kernel over a partial block (rem < 8) by padding the
+// input with zeros, so tail elements execute the exact instruction
+// sequence a full lane would. A libm tail here would make an element's
+// bits depend on its offset within the call range, which breaks the
+// partition-independence contract in the header comment.
+template <typename Fn>
+inline void Tail8(Fn fn, const float* a, float* o, int64_t rem) {
+  alignas(32) float in[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  alignas(32) float out[8];
+  for (int64_t k = 0; k < rem; ++k) in[k] = a[k];
+  _mm256_store_ps(out, fn(_mm256_load_ps(in)));
+  for (int64_t k = 0; k < rem; ++k) o[k] = out[k];
 }
 
 // ---------------------------------------------------------------------------
@@ -250,54 +293,23 @@ void VExp(const float* a, float* o, int64_t n) {
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(o + i, ExpPs(_mm256_loadu_ps(a + i)));
   }
-  for (; i < n; ++i) o[i] = std::exp(a[i]);
+  if (i < n) Tail8([](__m256 x) { return ExpPs(x); }, a + i, o + i, n - i);
 }
 void Sigmoid(const float* a, float* o, int64_t n) {
-  const __m256 one = _mm256_set1_ps(1.0f);
-  const __m256 zero = _mm256_setzero_ps();
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m256 x = _mm256_loadu_ps(a + i);
-    // Stable two-branch form, vectorized: z = e^{-|x|} <= 1, then
-    // x >= 0 -> 1/(1+z), x < 0 -> z/(1+z).
-    const __m256 z = ExpPs(_mm256_xor_ps(AbsPs(x), _mm256_set1_ps(-0.0f)));
-    const __m256 denom = _mm256_add_ps(one, z);
-    const __m256 nonneg = _mm256_cmp_ps(x, zero, _CMP_GE_OQ);
-    const __m256 num = _mm256_blendv_ps(z, one, nonneg);
-    __m256 y = _mm256_div_ps(num, denom);
-    const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
-    y = _mm256_blendv_ps(y, x, nan_mask);
-    _mm256_storeu_ps(o + i, y);
+    _mm256_storeu_ps(o + i, SigmoidPs(_mm256_loadu_ps(a + i)));
   }
-  for (; i < n; ++i) {
-    const float x = a[i];
-    if (x >= 0.0f) {
-      const float z = std::exp(-x);
-      o[i] = 1.0f / (1.0f + z);
-    } else {
-      const float z = std::exp(x);
-      o[i] = z / (1.0f + z);
-    }
+  if (i < n) {
+    Tail8([](__m256 x) { return SigmoidPs(x); }, a + i, o + i, n - i);
   }
 }
 void VTanh(const float* a, float* o, int64_t n) {
-  const __m256 one = _mm256_set1_ps(1.0f);
-  const __m256 sign_bit = _mm256_set1_ps(-0.0f);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m256 x = _mm256_loadu_ps(a + i);
-    // tanh(|x|) = (1 - e^{-2|x|}) / (1 + e^{-2|x|}), sign restored at the
-    // end; e^{-2|x|} <= 1 so there is no overflow anywhere.
-    const __m256 ax = AbsPs(x);
-    const __m256 t =
-        ExpPs(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0f)));
-    __m256 y = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
-    y = _mm256_or_ps(y, _mm256_and_ps(x, sign_bit));  // copysign
-    const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
-    y = _mm256_blendv_ps(y, x, nan_mask);
-    _mm256_storeu_ps(o + i, y);
+    _mm256_storeu_ps(o + i, TanhPs(_mm256_loadu_ps(a + i)));
   }
-  for (; i < n; ++i) o[i] = std::tanh(a[i]);
+  if (i < n) Tail8([](__m256 x) { return TanhPs(x); }, a + i, o + i, n - i);
 }
 
 void SigmoidGrad(const float* g, const float* out, float* o, int64_t n) {
@@ -308,7 +320,8 @@ void SigmoidGrad(const float* g, const float* out, float* o, int64_t n) {
     const __m256 d = _mm256_mul_ps(s, _mm256_sub_ps(one, s));
     _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
   }
-  for (; i < n; ++i) o[i] = g[i] * out[i] * (1.0f - out[i]);
+  // Same association as the lanes: g * (s * (1 - s)).
+  for (; i < n; ++i) o[i] = g[i] * (out[i] * (1.0f - out[i]));
 }
 void TanhGrad(const float* g, const float* out, float* o, int64_t n) {
   const __m256 one = _mm256_set1_ps(1.0f);
@@ -318,7 +331,8 @@ void TanhGrad(const float* g, const float* out, float* o, int64_t n) {
     const __m256 d = _mm256_fnmadd_ps(t, t, one);  // 1 - t*t
     _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
   }
-  for (; i < n; ++i) o[i] = g[i] * (1.0f - out[i] * out[i]);
+  // std::fma mirrors the lanes' fnmadd rounding (one rounding, not two).
+  for (; i < n; ++i) o[i] = g[i] * std::fma(-out[i], out[i], 1.0f);
 }
 void ReluGrad(const float* g, const float* x, float* o, int64_t n) {
   const __m256 zero = _mm256_setzero_ps();
@@ -358,7 +372,7 @@ void Axpy(float a, const float* x, float* dst, int64_t n) {
                      _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
                                      _mm256_loadu_ps(dst + i)));
   }
-  for (; i < n; ++i) dst[i] += a * x[i];
+  for (; i < n; ++i) dst[i] = std::fma(a, x[i], dst[i]);
 }
 void Scale(float* dst, float s, int64_t n) {
   const __m256 vs = _mm256_set1_ps(s);
@@ -427,7 +441,7 @@ void GruBlend(const float* z, const float* h, const float* c, float* o,
         vz, vh, _mm256_mul_ps(_mm256_sub_ps(one, vz), vc));
     _mm256_storeu_ps(o + i, blended);
   }
-  for (; i < n; ++i) o[i] = z[i] * h[i] + (1.0f - z[i]) * c[i];
+  for (; i < n; ++i) o[i] = std::fma(z[i], h[i], (1.0f - z[i]) * c[i]);
 }
 
 MaskedErrAcc MaskedErr(const float* pred, const float* truth, int64_t n,

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_micro_ops_cost.json against the committed baseline.
+"""Compare fresh benchmark JSON against the committed baselines.
 
 Usage:
     tools/check_bench_regression.py [--fresh PATH] [--baseline PATH]
         [--threshold PCT] [--require-simd-speedup]
+    tools/check_bench_regression.py --serve-fresh BENCH_serve_latency.json
+        [--serve-baseline PATH] [--threshold PCT]
 
 The cost JSON is the per-kernel timer registry written by
 bench/bench_micro_ops (obs::WriteRegistryJson): for every timer it records
@@ -19,6 +21,14 @@ count / total_s / mean_s / min_s / max_s. This script:
     `simd.<kernel>.scalar` partner in the FRESH run (skipped with a
     warning when the fresh run carries no avx2 timers, e.g. a
     SAGDFN_SIMD=off host).
+
+With --serve-fresh the script instead compares a BENCH_serve_latency.json
+written by bench/bench_serve (per-scenario p50/p99 request latency and
+throughput) against --serve-baseline: it fails if any scenario's p50 or
+p99 latency grew by more than --threshold percent, or its throughput
+dropped by more than --threshold percent. Serve latency is wall-clock
+and queue-time dominated, so CI runs this comparison NON-BLOCKING
+(informational) — a failure there flags a trend to look at, not a gate.
 
 Exit codes: 0 ok, 1 regression (or speedup requirement unmet), 2 bad
 invocation or unreadable input.
@@ -98,6 +108,44 @@ def check_simd_speedups(fresh):
     return ok
 
 
+def load_serve_scenarios(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    scenarios = doc.get("serve")
+    if not isinstance(scenarios, dict):
+        print(f"error: {path} has no 'serve' object", file=sys.stderr)
+        sys.exit(2)
+    return scenarios
+
+
+def check_serve_latency(fresh, baseline, threshold_pct):
+    """Per-scenario p50/p99 growth and throughput drop vs baseline."""
+    failures = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: scenario '{name}' missing from fresh run; skipping")
+            continue
+        for metric, worse_when in (("p50_us", "higher"), ("p99_us", "higher"),
+                                   ("throughput_rps", "lower")):
+            base = baseline[name].get(metric, 0.0)
+            new = fresh[name].get(metric, 0.0)
+            if base <= 0.0:
+                continue
+            delta_pct = 100.0 * (new - base) / base
+            regressed = (delta_pct > threshold_pct if worse_when == "higher"
+                         else delta_pct < -threshold_pct)
+            marker = "REGRESSION" if regressed else "ok"
+            print(f"  {name:20s} {metric:14s} base {base:12.1f}  "
+                  f"fresh {new:12.1f} ({delta_pct:+6.1f}%)  {marker}")
+            if regressed:
+                failures.append((f"{name}.{metric}", delta_pct))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_micro_ops_cost.json",
@@ -111,10 +159,29 @@ def main():
     parser.add_argument("--require-simd-speedup", action="store_true",
                         help="also require >= 2 simd kernels at >= 2x "
                              "avx2-over-scalar in the fresh run")
+    parser.add_argument("--serve-fresh", default=None,
+                        help="BENCH_serve_latency.json from the run under "
+                             "test; selects the serve-latency comparison "
+                             "instead of the micro-ops one")
+    parser.add_argument("--serve-baseline",
+                        default="bench/baselines/BENCH_serve_latency.json",
+                        help="committed baseline serve latency JSON")
     args = parser.parse_args()
     if args.threshold <= 0:
         print("error: --threshold must be positive", file=sys.stderr)
         return 2
+
+    if args.serve_fresh is not None:
+        fresh = load_serve_scenarios(args.serve_fresh)
+        baseline = load_serve_scenarios(args.serve_baseline)
+        print(f"== serve latency check (threshold {args.threshold:.0f}%) ==")
+        failures = check_serve_latency(fresh, baseline, args.threshold)
+        if failures:
+            for name, delta in failures:
+                print(f"FAIL: {name} moved {delta:+.1f}%", file=sys.stderr)
+            return 1
+        print("serve latency check passed")
+        return 0
 
     fresh = load_timers(args.fresh)
     baseline = load_timers(args.baseline)

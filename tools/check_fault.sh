@@ -16,7 +16,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSAGDFN_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target fault_injection_test serialization_test trainer_test
+  --target fault_injection_test serialization_test trainer_test \
+  serve_engine_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
@@ -25,6 +26,9 @@ ctest --test-dir "${BUILD_DIR}" -L fault --output-on-failure
 
 echo "== checkpoint serialization robustness (ASan) =="
 "${BUILD_DIR}/tests/serialization_test"
+
+echo "== inference engine lifecycle (ASan: shutdown, destroy-under-load) =="
+"${BUILD_DIR}/tests/serve_engine_test"
 
 echo "== trainer checkpoint/resume suites (ASan) =="
 "${BUILD_DIR}/tests/trainer_test" \

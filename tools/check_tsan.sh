@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the parallel-kernel tests under ThreadSanitizer and runs the
-# thread-pool / determinism suites at 8 threads. Any data race in the
-# ParallelFor backend or the parallel tensor kernels fails the script.
+# Builds the parallel-kernel and serving tests under ThreadSanitizer and
+# runs the thread-pool / determinism suites at 8 threads. Any data race
+# in the ParallelFor backend, the parallel tensor kernels, or the
+# inference engine's queue/worker/shutdown machinery fails the script.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,7 +14,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSAGDFN_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target utils_test tensor_reference_test
+  --target utils_test tensor_reference_test serve_engine_test
 
 # halt_on_error so the first race aborts with a non-zero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -25,5 +26,8 @@ echo "== ThreadPool / ParallelFor tests (8 threads) =="
 echo "== Parallel kernel determinism tests (8 threads) =="
 "${BUILD_DIR}/tests/tensor_reference_test" \
   --gtest_filter='ThreadCountDeterminism.*:ScalarOpDifferential.*'
+
+echo "== Inference engine concurrency suite (workers, shutdown, destroy-under-load) =="
+"${BUILD_DIR}/tests/serve_engine_test"
 
 echo "TSan check passed: no data races detected."

@@ -11,13 +11,25 @@
 //       save a checkpoint.
 //   evaluate --dataset <name> --model model.ckpt [--nodes N] [...]
 //       Load a checkpoint (built with the same flags) and evaluate it.
+//   serve --dataset <name> --model model.ckpt [--workers W] [--batch B]
+//         [--max-wait-us U] [--requests R] [--clients C]
+//       Replay test-split windows through the batched inference engine
+//       from C concurrent clients and report latency percentiles.
 //
 // Examples:
 //   sagdfn_cli generate --dataset metr-la-sim --out metr.csv
 //   sagdfn_cli train --dataset metr-la-sim --epochs 8 --out model.ckpt
 //   sagdfn_cli evaluate --dataset metr-la-sim --model model.ckpt
+//   sagdfn_cli serve --dataset metr-la-sim --model model.ckpt --workers 4
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/sagdfn.h"
 #include "core/trainer.h"
@@ -25,6 +37,8 @@
 #include "data/registry.h"
 #include "nn/serialization.h"
 #include "obs/telemetry.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
@@ -34,7 +48,7 @@ namespace {
 
 int Usage() {
   std::cerr
-      << "usage: sagdfn_cli <generate|info|train|evaluate> [flags]\n"
+      << "usage: sagdfn_cli <generate|info|train|evaluate|serve> [flags]\n"
          "  common flags: --dataset <name> --full --nodes N\n"
          "                --telemetry <file.jsonl>  (or SAGDFN_TELEMETRY "
          "env var)\n"
@@ -187,6 +201,123 @@ int Evaluate(const utils::CommandLine& cli, const std::string& name) {
   return 0;
 }
 
+// One serving request: a single test window, sliced out of its batch.
+struct ServeRequest {
+  tensor::Tensor x;           // [h, N, C]
+  tensor::Tensor future_tod;  // [f]
+};
+
+std::vector<ServeRequest> TestWindows(const data::ForecastDataset& dataset,
+                                      int64_t count) {
+  std::vector<ServeRequest> requests;
+  const int64_t available = dataset.NumSamples(data::Split::kTest);
+  count = std::min(count, available);
+  requests.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    data::Batch batch = dataset.GetBatch(data::Split::kTest, i, 1);
+    ServeRequest request;
+    request.x = tensor::Tensor(tensor::Shape(
+        {batch.x.dim(1), batch.x.dim(2), batch.x.dim(3)}));
+    std::memcpy(request.x.data(), batch.x.data(),
+                request.x.size() * sizeof(float));
+    request.future_tod =
+        tensor::Tensor(tensor::Shape({batch.future_tod.dim(1)}));
+    std::memcpy(request.future_tod.data(), batch.future_tod.data(),
+                request.future_tod.size() * sizeof(float));
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+int Serve(const utils::CommandLine& cli, const std::string& name) {
+  const std::string path = cli.GetString("model", "");
+  if (path.empty()) {
+    std::cerr << "error: --model <checkpoint> required\n";
+    return 2;
+  }
+  data::ForecastDataset dataset = LoadDataset(cli, name);
+  core::SagdfnConfig config = ConfigFromFlags(cli, dataset);
+  std::unique_ptr<serve::FrozenModel> frozen;
+  utils::Status status = serve::FrozenModel::Load(config, path, &frozen);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString()
+              << " (were the model flags identical to training?)\n";
+    return 1;
+  }
+  std::shared_ptr<const serve::FrozenModel> model(std::move(frozen));
+
+  serve::EngineOptions options;
+  options.num_workers = cli.GetInt("workers", 2);
+  options.max_batch = cli.GetInt("batch", 8);
+  options.max_wait_us = cli.GetInt("max-wait-us", 1000);
+  serve::InferenceEngine engine(model, options);
+
+  const int64_t clients = std::max<int64_t>(1, cli.GetInt("clients", 4));
+  std::vector<ServeRequest> requests =
+      TestWindows(dataset, cli.GetInt("requests", 64));
+  if (requests.empty()) {
+    std::cerr << "error: no test windows available\n";
+    return 1;
+  }
+  std::cout << "serving " << requests.size() << " requests from " << clients
+            << " clients (" << options.num_workers << " workers, max batch "
+            << options.max_batch << ", max wait " << options.max_wait_us
+            << " us)\n";
+
+  // Each client replays an interleaved slice of the windows and records
+  // end-to-end (submit -> future ready) latency per request.
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> latencies_us(requests.size(), 0.0);
+  std::vector<int64_t> failures_per_client(clients, 0);
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (int64_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (size_t i = c; i < requests.size(); i += clients) {
+        const auto start = Clock::now();
+        std::future<serve::Forecast> future =
+            engine.Submit(requests[i].x, requests[i].future_tod);
+        serve::Forecast forecast = future.get();
+        latencies_us[i] =
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+                Clock::now() - start)
+                .count();
+        if (!forecast.status.ok()) ++failures_per_client[c];
+      }
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - wall_start)
+          .count();
+
+  int64_t failures = 0;
+  for (int64_t f : failures_per_client) failures += f;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double p) {
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[index];
+  };
+  const serve::EngineStats stats = engine.stats();
+  utils::TablePrinter table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(requests.size())});
+  table.AddRow({"failures", std::to_string(failures)});
+  table.AddRow({"batches", std::to_string(stats.batches)});
+  table.AddRow({"p50 latency", utils::FormatDouble(percentile(0.5), 0) +
+                                   " us"});
+  table.AddRow({"p99 latency", utils::FormatDouble(percentile(0.99), 0) +
+                                   " us"});
+  table.AddRow(
+      {"throughput",
+       utils::FormatDouble(static_cast<double>(requests.size()) / wall_s, 1) +
+           " req/s"});
+  std::cout << table.ToString();
+  return failures == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -211,6 +342,7 @@ int Run(int argc, char** argv) {
   if (command == "info") return Info(cli, dataset);
   if (command == "train") return Train(cli, dataset);
   if (command == "evaluate") return Evaluate(cli, dataset);
+  if (command == "serve") return Serve(cli, dataset);
   return Usage();
 }
 
