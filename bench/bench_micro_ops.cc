@@ -21,6 +21,7 @@
 #include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "utils/arena.h"
+#include "utils/block_reduce.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 #include "utils/rng.h"
@@ -388,6 +389,47 @@ void BM_SimdGruBlend(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_SimdGruBlend)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+// The fused GRU step (the whole cell tail in one pass: r/z sigmoids, the
+// candidate tanh with the r-gated hidden projection, and the blend).
+void BM_SimdGruStep(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  static const tensor::Tensor xi = [] {
+    utils::Rng rng(12);
+    return tensor::Tensor::Normal(tensor::Shape({3 * kSimdBenchLen}), rng);
+  }();
+  static const tensor::Tensor hh = [] {
+    utils::Rng rng(13);
+    return tensor::Tensor::Normal(tensor::Shape({3 * kSimdBenchLen}), rng);
+  }();
+  RunSimdKernelBench(state, "gru_step", [&](const tensor::simd::Kernels& k) {
+    k.gru_step(xi.data(), hh.data(), d.a.data(), d.out.data(),
+               /*r_out=*/nullptr, /*z_out=*/nullptr, /*n_out=*/nullptr,
+               kSimdBenchLen);
+    benchmark::DoNotOptimize(d.out.data());
+  });
+}
+BENCHMARK(BM_SimdGruStep)->ArgNames({"level"})->Arg(0)->Arg(1);
+
+// Deterministic block reduction over the bench buffer. The per-block
+// partials live in the calling thread's ScratchArena, so this bench also
+// keeps the `arena.high_water_bytes` gauge live in the cost JSON when CI
+// runs with --benchmark_filter=BM_Simd (no other BM_Simd bench touches
+// the arena).
+void BM_SimdBlockReduceSum(benchmark::State& state) {
+  SimdBenchData& d = SimdBenchData::Get();
+  RunSimdKernelBench(
+      state, "block_reduce_sum", [&](const tensor::simd::Kernels& k) {
+        const double total = utils::DeterministicBlockReduce<double>(
+            kSimdBenchLen, 0.0,
+            [&](int64_t lo, int64_t hi) {
+              return k.sum(d.a.data() + lo, hi - lo);
+            },
+            [](double& acc, double part) { acc += part; });
+        benchmark::DoNotOptimize(total);
+      });
+}
+BENCHMARK(BM_SimdBlockReduceSum)->ArgNames({"level"})->Arg(0)->Arg(1);
 
 // Telemetry overhead contract. The disabled path of SAGDFN_SCOPED_TIMER
 // must be a single relaxed atomic load — this bench both measures it and

@@ -31,6 +31,13 @@
 namespace sagdfn {
 namespace {
 
+// Engine knobs overridable from the command line (see main): --max_wait_us
+// sets the batching window for every scenario; --max_batch, when positive,
+// overrides each scenario's max_batch argument. Defaults reproduce the
+// committed baseline numbers.
+int64_t g_max_wait_us = 200;
+int64_t g_max_batch = 0;
+
 struct ScenarioSummary {
   double p50_us = 0.0;
   double p99_us = 0.0;
@@ -135,12 +142,12 @@ double ReplayOnce(serve::InferenceEngine& engine, int64_t requests,
 /// under a bursty 4-client load.
 void BM_ServeLatency(benchmark::State& state) {
   const int64_t workers = state.range(0);
-  const int64_t max_batch = state.range(1);
+  const int64_t max_batch = g_max_batch > 0 ? g_max_batch : state.range(1);
   const int64_t requests = 64;
   serve::EngineOptions options;
   options.num_workers = workers;
   options.max_batch = max_batch;
-  options.max_wait_us = 200;
+  options.max_wait_us = g_max_wait_us;
   serve::InferenceEngine engine(SharedModel(), options);
 
   std::vector<double> latencies_us;
@@ -166,6 +173,43 @@ BENCHMARK(BM_ServeLatency)
     ->Args({1, 8})
     ->Args({2, 8})
     ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Low-wait sweep: how much of the batching window (max_wait_us) the
+/// engine actually needs under the same bursty load. wait=0 degenerates
+/// to take-what's-queued batching; the gap between wait=0 and the
+/// default 200us shows the latency cost of waiting for fuller batches.
+void BM_ServeLowWaitSweep(benchmark::State& state) {
+  const int64_t wait_us = state.range(0);
+  const int64_t requests = 64;
+  serve::EngineOptions options;
+  options.num_workers = 2;
+  options.max_batch = g_max_batch > 0 ? g_max_batch : 8;
+  options.max_wait_us = wait_us;
+  serve::InferenceEngine engine(SharedModel(), options);
+
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    wall_s += ReplayOnce(engine, requests, /*clients=*/4, &latencies_us);
+  }
+  ScenarioSummary summary;
+  summary.p50_us = PercentileUs(latencies_us, 50.0);
+  summary.p99_us = PercentileUs(latencies_us, 99.0);
+  summary.requests = static_cast<int64_t>(latencies_us.size());
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  Summaries()["serve.lowwait.wait" + std::to_string(wait_us)] = summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+}
+BENCHMARK(BM_ServeLowWaitSweep)
+    ->ArgNames({"wait_us"})
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(200)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
@@ -240,6 +284,20 @@ utils::Status WriteSummaryJson(const std::string& path) {
 }  // namespace sagdfn
 
 int main(int argc, char** argv) {
+  // Strip our engine-knob flags before google-benchmark sees (and
+  // rejects) them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--max_wait_us=", 0) == 0) {
+      sagdfn::g_max_wait_us = std::stoll(arg.substr(14));
+    } else if (arg.rfind("--max_batch=", 0) == 0) {
+      sagdfn::g_max_batch = std::stoll(arg.substr(12));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

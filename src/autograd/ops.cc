@@ -1,5 +1,6 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -455,6 +456,85 @@ Variable Softmax(const Variable& a, int64_t axis) {
 
 Variable MulMask(const Variable& a, const Tensor& mask) {
   return Mul(a, Variable(mask));
+}
+
+Variable GruStep(const Variable& xi, const Variable& hh, const Variable& h) {
+  const int64_t hd = h.shape().dim(-1);
+  SAGDFN_CHECK_GT(hd, 0);
+  SAGDFN_CHECK_EQ(xi.shape().dim(-1), 3 * hd);
+  SAGDFN_CHECK_EQ(hh.shape().dim(-1), 3 * hd);
+  SAGDFN_CHECK_EQ(xi.size(), 3 * h.size());
+  SAGDFN_CHECK_EQ(hh.size(), 3 * h.size());
+  const int64_t rows = h.size() / hd;
+  const int64_t row_grain =
+      std::max<int64_t>(1, utils::kElementwiseGrain /
+                               std::max<int64_t>(1, hd));
+
+  // Decide up front whether backward will run: only then are the r/z/n
+  // gate tensors worth materializing.
+  const bool track =
+      GradEnabled() &&
+      (xi.requires_grad() || hh.requires_grad() || h.requires_grad());
+
+  Tensor out(h.shape());
+  Tensor r, z, nc;
+  float* pr = nullptr;
+  float* pz = nullptr;
+  float* pn = nullptr;
+  if (track) {
+    r = Tensor(h.shape());
+    z = Tensor(h.shape());
+    nc = Tensor(h.shape());
+    pr = r.data();
+    pz = z.data();
+    pn = nc.data();
+  }
+  const float* pxi = xi.value().data();
+  const float* phh = hh.value().data();
+  const float* ph = h.value().data();
+  float* po = out.data();
+  utils::ParallelFor(0, rows, row_grain, [&](int64_t r0, int64_t r1) {
+    const tensor::simd::Kernels& kern = tensor::simd::K();
+    for (int64_t row = r0; row < r1; ++row) {
+      kern.gru_step(pxi + row * 3 * hd, phh + row * 3 * hd, ph + row * hd,
+                    po + row * hd, pr == nullptr ? nullptr : pr + row * hd,
+                    pz == nullptr ? nullptr : pz + row * hd,
+                    pn == nullptr ? nullptr : pn + row * hd, hd);
+    }
+  });
+
+  auto nxi = xi.node();
+  auto nhh = hh.node();
+  auto nh = h.node();
+  return MakeOp(
+      "GruStep", out, {xi, hh, h},
+      [nxi, nhh, nh, r, z, nc, hd, rows, row_grain](const Tensor& g) {
+        Tensor dxi(nxi->value.shape());
+        Tensor dhh(nhh->value.shape());
+        Tensor dh(nh->value.shape());
+        const float* pg = g.data();
+        const float* pr = r.data();
+        const float* pz = z.data();
+        const float* pn = nc.data();
+        const float* ph = nh->value.data();
+        const float* phh = nhh->value.data();
+        float* pdxi = dxi.data();
+        float* pdhh = dhh.data();
+        float* pdh = dh.data();
+        utils::ParallelFor(0, rows, row_grain, [&](int64_t r0, int64_t r1) {
+          const tensor::simd::Kernels& kern = tensor::simd::K();
+          for (int64_t row = r0; row < r1; ++row) {
+            kern.gru_step_grad(pg + row * hd, pr + row * hd, pz + row * hd,
+                               pn + row * hd, ph + row * hd,
+                               phh + row * 3 * hd + 2 * hd,
+                               pdxi + row * 3 * hd, pdhh + row * 3 * hd,
+                               pdh + row * hd, hd);
+          }
+        });
+        Accumulate(nxi, dxi);
+        Accumulate(nhh, dhh);
+        Accumulate(nh, dh);
+      });
 }
 
 Variable L1Loss(const Variable& pred, const Variable& target) {

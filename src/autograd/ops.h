@@ -65,6 +65,18 @@ Variable Softmax(const Variable& a, int64_t axis);
 /// receives no gradient).
 Variable MulMask(const Variable& a, const tensor::Tensor& mask);
 
+/// Fused GRU cell step (nn::GruCell). `xi` and `hh` are the input and
+/// hidden affine projections, [..., 3H] in [r|z|n] layout; `h` is the
+/// previous state [..., H]. Computes, per row,
+///   r = sigmoid(xi_r + hh_r), z = sigmoid(xi_z + hh_z),
+///   n = tanh(xi_n + r * hh_n), h' = z*h + (1-z)*n
+/// in a single pass through the dispatched gru_step kernel (one output
+/// tensor instead of the ~10 temporaries of the unfused chain), with a
+/// fused single-pass backward (gru_step_grad) for all three inputs.
+/// Training stores r/z/n for backward; under NoGrad nothing but the
+/// output is materialized.
+Variable GruStep(const Variable& xi, const Variable& hh, const Variable& h);
+
 /// mean(|pred - target|); the paper's training loss (Eq. 11).
 Variable L1Loss(const Variable& pred, const Variable& target);
 

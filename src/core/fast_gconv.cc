@@ -81,7 +81,6 @@ ag::Variable GConvGruCell::Forward(const ag::Variable& a_s,
                                    const ag::Variable* inv_deg) const {
   SAGDFN_CHECK_EQ(x.dim(2), in_dim_);
   SAGDFN_CHECK_EQ(h.dim(2), hidden_dim_);
-  const int64_t hd = hidden_dim_;
 
   // inv_deg depends only on a_s: compute it once and share it between the
   // gate and candidate convolutions (callers looping over timesteps pass
@@ -94,15 +93,13 @@ ag::Variable GConvGruCell::Forward(const ag::Variable& a_s,
 
   ag::Variable xh = ag::Concat({x, h}, 2);
   ag::Variable gates = gate_conv_->Forward(a_s, index_set, xh, inv_deg);
-  ag::Variable r = ag::Sigmoid(ag::Slice(gates, 2, 0, hd));
-  ag::Variable z = ag::Sigmoid(ag::Slice(gates, 2, hd, 2 * hd));
-
-  ag::Variable x_rh = ag::Concat({x, ag::Mul(r, h)}, 2);
-  ag::Variable candidate =
-      ag::Tanh(candidate_conv_->Forward(a_s, index_set, x_rh, inv_deg));
-
-  // Fused z*h + (1-z)*candidate: one pass, one output tensor per step.
-  return GruBlend(z, h, candidate);
+  // Fused tail (core/fused_ops.h): r is applied inside the candidate-input
+  // build, z/tanh/blend collapse into one pass. Bit-identical to the
+  // Sigmoid(Slice) -> Mul -> Concat -> Tanh -> GruBlend chain it replaces.
+  ag::Variable x_rh = GruCandidateInput(gates, x, h);
+  ag::Variable candidate_pre =
+      candidate_conv_->Forward(a_s, index_set, x_rh, inv_deg);
+  return GruTailBlend(gates, h, candidate_pre);
 }
 
 ag::Variable GConvGruCell::InitialState(int64_t batch,

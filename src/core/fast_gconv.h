@@ -47,6 +47,12 @@ class FastGraphConv : public nn::Module {
   int64_t out_dim() const { return out_dim_; }
   int64_t diffusion_steps() const { return diffusion_steps_; }
 
+  /// The J diffusion weight matrices [in, out] and the bias [out]; read
+  /// by the eval-mode rollout plan (core/rollout_plan) to replay the
+  /// convolution without autograd.
+  const std::vector<autograd::Variable>& weights() const { return weights_; }
+  const autograd::Variable& bias() const { return bias_; }
+
  private:
   int64_t in_dim_;
   int64_t out_dim_;
@@ -84,6 +90,10 @@ class GConvGruCell : public nn::Module {
 
   int64_t hidden_dim() const { return hidden_dim_; }
   int64_t in_dim() const { return in_dim_; }
+
+  /// Gate / candidate convolutions, read by the eval-mode rollout plan.
+  const FastGraphConv& gate_conv() const { return *gate_conv_; }
+  const FastGraphConv& candidate_conv() const { return *candidate_conv_; }
 
  private:
   int64_t in_dim_;

@@ -35,6 +35,64 @@ int64_t RowGrain(int64_t row_len) {
 
 }  // namespace
 
+void OneStepFastGConvInto(const float* a_s, const float* term,
+                          const float* inv_deg,
+                          const std::vector<int64_t>& index_set,
+                          int64_t batch, int64_t n, int64_t c, float* out) {
+  const int64_t k = static_cast<int64_t>(index_set.size());
+  const int64_t* idx = index_set.data();
+  // Each (b, i) output row is owned by exactly one task; the j scan runs
+  // in ascending order inside a row, so accumulation order (and the
+  // result) is independent of the partition.
+  ParallelFor(0, batch * n, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    const simd::Kernels& kern = simd::K();
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / n;
+      const int64_t i = r - b * n;
+      const float* t_base = term + b * n * c;
+      float* out_row = out + r * c;
+      std::memcpy(out_row, t_base + i * c, sizeof(float) * c);
+      const float* a_row = a_s + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const float av = a_row[j];
+        if (av == 0.0f) continue;
+        kern.axpy(av, t_base + idx[j] * c, out_row, c);
+      }
+      kern.scale(out_row, inv_deg[i], c);
+    }
+  });
+}
+
+void GruCandidateInputInto(const float* gates, const float* x, const float* h,
+                           float* out, float* r_out, int64_t rows, int64_t c,
+                           int64_t hd, bool copy_x) {
+  const int64_t out_stride = c + hd;
+  ParallelFor(0, rows, RowGrain(out_stride), [&](int64_t r0, int64_t r1) {
+    const simd::Kernels& kern = simd::K();
+    for (int64_t r = r0; r < r1; ++r) {
+      float* out_row = out + r * out_stride;
+      if (copy_x) {
+        std::memcpy(out_row, x + r * c, sizeof(float) * c);
+      }
+      kern.sigmoid_mul(gates + r * 2 * hd, h + r * hd, out_row + c,
+                       r_out == nullptr ? nullptr : r_out + r * hd, hd);
+    }
+  });
+}
+
+void GruTailBlendInto(const float* gates, const float* h, const float* c_pre,
+                      float* out, float* z_out, float* t_out, int64_t rows,
+                      int64_t hd) {
+  ParallelFor(0, rows, RowGrain(hd), [&](int64_t r0, int64_t r1) {
+    const simd::Kernels& kern = simd::K();
+    for (int64_t r = r0; r < r1; ++r) {
+      kern.gru_tail(gates + r * 2 * hd + hd, h + r * hd, c_pre + r * hd,
+                    out + r * hd, z_out == nullptr ? nullptr : z_out + r * hd,
+                    t_out == nullptr ? nullptr : t_out + r * hd, hd);
+    }
+  });
+}
+
 ag::Variable OneStepFastGConv(const ag::Variable& a_s,
                               const ag::Variable& term,
                               const std::vector<int64_t>& index_set,
@@ -54,32 +112,10 @@ ag::Variable OneStepFastGConv(const ag::Variable& a_s,
     SAGDFN_CHECK_LT(index_set[j], n);
   }
 
-  const float* pa = a_s.value().data();
-  const float* pt = term.value().data();
-  const float* pinv = inv_deg.value().data();
-
   Tensor out{Shape({batch, n, c})};
-  float* po = out.data();
-  // Each (b, i) output row is owned by exactly one task; the j scan runs
-  // in ascending order inside a row, so accumulation order (and the
-  // result) is independent of the partition.
-  ParallelFor(0, batch * n, RowGrain(c), [&](int64_t r0, int64_t r1) {
-    const simd::Kernels& kern = simd::K();
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t b = r / n;
-      const int64_t i = r - b * n;
-      const float* t_base = pt + b * n * c;
-      float* out_row = po + r * c;
-      std::memcpy(out_row, t_base + i * c, sizeof(float) * c);
-      const float* a_row = pa + i * k;
-      for (int64_t j = 0; j < k; ++j) {
-        const float av = a_row[j];
-        if (av == 0.0f) continue;
-        kern.axpy(av, t_base + index_set[j] * c, out_row, c);
-      }
-      kern.scale(out_row, pinv[i], c);
-    }
-  });
+  OneStepFastGConvInto(a_s.value().data(), term.value().data(),
+                       inv_deg.value().data(), index_set, batch, n, c,
+                       out.data());
 
   auto na = a_s.node();
   auto nt = term.node();
@@ -237,6 +273,135 @@ ag::Variable GruBlend(const ag::Variable& z, const ag::Variable& h,
             simd::K().mul_one_minus(pg + i0, pz + i0, pd + i0, i1 - i0);
           }));
         }
+      });
+}
+
+ag::Variable GruCandidateInput(const ag::Variable& gates,
+                               const ag::Variable& x, const ag::Variable& h) {
+  SAGDFN_CHECK_EQ(gates.shape().ndim(), 3);
+  SAGDFN_CHECK_EQ(x.shape().ndim(), 3);
+  SAGDFN_CHECK_EQ(h.shape().ndim(), 3);
+  const int64_t batch = h.dim(0);
+  const int64_t n = h.dim(1);
+  const int64_t hd = h.dim(2);
+  const int64_t c = x.dim(2);
+  SAGDFN_CHECK_EQ(x.dim(0), batch);
+  SAGDFN_CHECK_EQ(x.dim(1), n);
+  SAGDFN_CHECK_EQ(gates.dim(0), batch);
+  SAGDFN_CHECK_EQ(gates.dim(1), n);
+  SAGDFN_CHECK_EQ(gates.dim(2), 2 * hd);
+  const int64_t rows = batch * n;
+
+  const bool track =
+      ag::GradEnabled() &&
+      (gates.requires_grad() || x.requires_grad() || h.requires_grad());
+  Tensor out{Shape({batch, n, c + hd})};
+  Tensor r;
+  if (track) r = Tensor(h.shape());
+  GruCandidateInputInto(gates.value().data(), x.value().data(),
+                        h.value().data(), out.data(),
+                        track ? r.data() : nullptr, rows, c, hd,
+                        /*copy_x=*/true);
+
+  auto ng = gates.node();
+  auto nx = x.node();
+  auto nh = h.node();
+  return MakeOp(
+      "GruCandidateInput", out, {gates, x, h},
+      [ng, nx, nh, r, batch, n, c, hd](const Tensor& g) {
+        const int64_t rows = batch * n;
+        const int64_t out_stride = c + hd;
+        const float* pg = g.data();
+        if (nx->requires_grad) {
+          // dx is the head slice of g.
+          Tensor dx{Shape({batch, n, c})};
+          float* pdx = dx.data();
+          ParallelFor(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+            for (int64_t row = r0; row < r1; ++row) {
+              std::memcpy(pdx + row * c, pg + row * out_stride,
+                          sizeof(float) * c);
+            }
+          });
+          Accumulate(nx, dx);
+        }
+        if (ng->requires_grad || nh->requires_grad) {
+          const float* ph = nh->value.data();
+          const float* pr = r.data();
+          // Only the r half of the gate pre-activations is touched here;
+          // the z half belongs to GruTailBlend's backward and both
+          // accumulate into the same gates node.
+          Tensor dgates{Shape({batch, n, 2 * hd})};
+          Tensor dh(nh->value.shape());
+          float* pdg = dgates.data();
+          float* pdh = dh.data();
+          ParallelFor(0, rows, RowGrain(hd), [&](int64_t r0, int64_t r1) {
+            const simd::Kernels& kern = simd::K();
+            for (int64_t row = r0; row < r1; ++row) {
+              kern.sigmoid_mul_grad(pg + row * out_stride + c, pr + row * hd,
+                                    ph + row * hd, pdg + row * 2 * hd,
+                                    pdh + row * hd, hd);
+            }
+          });
+          if (ng->requires_grad) Accumulate(ng, dgates);
+          if (nh->requires_grad) Accumulate(nh, dh);
+        }
+      });
+}
+
+ag::Variable GruTailBlend(const ag::Variable& gates, const ag::Variable& h,
+                          const ag::Variable& c_pre) {
+  SAGDFN_CHECK_EQ(gates.shape().ndim(), 3);
+  SAGDFN_CHECK(h.shape() == c_pre.shape());
+  const int64_t batch = h.dim(0);
+  const int64_t n = h.dim(1);
+  const int64_t hd = h.dim(2);
+  SAGDFN_CHECK_EQ(gates.dim(0), batch);
+  SAGDFN_CHECK_EQ(gates.dim(1), n);
+  SAGDFN_CHECK_EQ(gates.dim(2), 2 * hd);
+  const int64_t rows = batch * n;
+
+  const bool track =
+      ag::GradEnabled() &&
+      (gates.requires_grad() || h.requires_grad() || c_pre.requires_grad());
+  Tensor out(h.shape());
+  Tensor z, t;
+  if (track) {
+    z = Tensor(h.shape());
+    t = Tensor(h.shape());
+  }
+  GruTailBlendInto(gates.value().data(), h.value().data(),
+                   c_pre.value().data(), out.data(),
+                   track ? z.data() : nullptr, track ? t.data() : nullptr,
+                   rows, hd);
+
+  auto ng = gates.node();
+  auto nh = h.node();
+  auto nc = c_pre.node();
+  return MakeOp(
+      "GruTailBlend", out, {gates, h, c_pre},
+      [ng, nh, nc, z, t, batch, n, hd](const Tensor& g) {
+        const int64_t rows = batch * n;
+        const float* pg = g.data();
+        const float* pz = z.data();
+        const float* pt = t.data();
+        const float* ph = nh->value.data();
+        Tensor dgates{Shape({batch, n, 2 * hd})};
+        Tensor dh(nh->value.shape());
+        Tensor dc(nc->value.shape());
+        float* pdg = dgates.data();
+        float* pdh = dh.data();
+        float* pdc = dc.data();
+        ParallelFor(0, rows, RowGrain(hd), [&](int64_t r0, int64_t r1) {
+          const simd::Kernels& kern = simd::K();
+          for (int64_t row = r0; row < r1; ++row) {
+            kern.gru_tail_grad(pg + row * hd, pz + row * hd, pt + row * hd,
+                               ph + row * hd, pdg + row * 2 * hd + hd,
+                               pdh + row * hd, pdc + row * hd, hd);
+          }
+        });
+        Accumulate(ng, dgates);
+        Accumulate(nh, dh);
+        Accumulate(nc, dc);
       });
 }
 

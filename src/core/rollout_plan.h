@@ -1,0 +1,101 @@
+#ifndef SAGDFN_CORE_ROLLOUT_PLAN_H_
+#define SAGDFN_CORE_ROLLOUT_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sagdfn.h"
+#include "tensor/tensor.h"
+
+namespace sagdfn::core {
+
+/// Precompiled eval-mode execution plan for the SAGDFN encoder/decoder
+/// rollout.
+///
+/// SagdfnModel::Predict walks the autograd op layer every call: each of
+/// the ~(h + f) * L cell steps rebuilds the same Concat/conv/blend
+/// sequence, allocating a fresh output tensor per op and re-deriving
+/// every shape. For a frozen model none of that can change between
+/// requests, so the plan resolves it once at construction:
+///
+///   - the full kernel sequence (gather-free graph conv, fused GRU tail,
+///     row-tiled matmuls) is flattened into a linear instruction list
+///     with every weight pointer, buffer offset and row count baked in;
+///   - row-local stages are fused into segments: everything between two
+///     graph-diffusion gathers (the only stages that read other rows)
+///     runs as ONE ParallelFor whose tasks execute the whole chain over
+///     their row range, spanning layer and timestep boundaries — a
+///     handful of pool dispatches per replay instead of one per op;
+///   - all intermediates live in one scratch slab, sized at build time
+///     and bump-allocated from the calling thread's ScratchArena per
+///     Run — zero per-step heap allocation and no autograd-graph
+///     construction during replay;
+///   - a one-time dry run in the constructor validates the stream end to
+///     end and warms the arena to the slab size.
+///
+/// Replay is bit-identical to SagdfnModel::Predict: every instruction
+/// calls the same dispatched kernels with the same per-row accumulation
+/// order as the eager ops it replaces (see tensor::MatMulInto and the
+/// *Into helpers in core/fused_ops.h).
+///
+/// A plan is immutable after construction and safe to replay from many
+/// threads concurrently (scratch is per-thread; the x/future_tod/output
+/// buffers are per-call). It pins handle copies of every tensor it reads,
+/// so it stays valid independent of the model's lifetime. Plans are
+/// shape-specific: one plan serves exactly one batch size (serving
+/// caches one per observed batch; see serve::FrozenModel).
+class RolloutPlan {
+ public:
+  /// Builds the instruction stream for `batch`-sized requests against the
+  /// frozen `snapshot`, then dry-runs it once on zero inputs.
+  RolloutPlan(const SagdfnModel& model, const AdjacencySnapshot& snapshot,
+              int64_t batch);
+
+  /// Replays the plan: `x` [batch, history, N, C], `future_tod`
+  /// [batch, horizon]; returns scaled predictions [batch, horizon, N],
+  /// bit-identical to SagdfnModel::Predict on the same inputs.
+  tensor::Tensor Run(const tensor::Tensor& x,
+                     const tensor::Tensor& future_tod) const;
+
+  int64_t batch() const { return batch_; }
+  int64_t num_instructions() const {
+    return static_cast<int64_t>(instrs_.size());
+  }
+  /// Bytes of per-thread arena scratch one replay bump-allocates.
+  int64_t scratch_bytes() const { return scratch_bytes_; }
+  /// One line per instruction: "<index>: <label>".
+  std::string DebugString() const;
+
+ private:
+  /// Per-call state handed to every instruction.
+  struct RunCtx {
+    const float* x;    // [batch, history, N, C]
+    const float* ft;   // [batch, horizon]
+    float* out;        // [batch, horizon, N]
+    float* slab;       // scratch_bytes() / 4 floats of arena scratch
+  };
+  struct Instr {
+    std::string label;
+    std::function<void(const RunCtx&)> fn;
+  };
+
+  int64_t batch_ = 0;
+  int64_t n_ = 0;        // nodes
+  int64_t c_ = 0;        // input channels
+  int64_t hd_ = 0;       // hidden dim
+  int64_t layers_ = 0;
+  int64_t history_ = 0;
+  int64_t horizon_ = 0;
+  int64_t slab_floats_ = 0;
+  int64_t scratch_bytes_ = 0;
+  std::vector<Instr> instrs_;
+  /// Handle copies pinning every tensor the instructions read (weights,
+  /// biases, adjacency, inverse degrees).
+  std::vector<tensor::Tensor> pinned_;
+};
+
+}  // namespace sagdfn::core
+
+#endif  // SAGDFN_CORE_ROLLOUT_PLAN_H_

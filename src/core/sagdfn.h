@@ -137,6 +137,12 @@ class SagdfnModel : public SeqModel {
   /// for comparison against a latent ground-truth graph.
   tensor::Tensor DenseAdjacency();
 
+  /// Encoder-decoder cell for `layer` (read by core/rollout_plan).
+  const GConvGruCell& cell(int64_t layer) const { return *cells_.at(layer); }
+
+  /// The H -> 1 output projection (read by core/rollout_plan).
+  const nn::Linear& output_projection() const { return *output_proj_; }
+
  private:
   /// Refreshes `index_set_` per Algorithm 2 lines 5-6.
   void MaybeResample(int64_t iteration);

@@ -25,6 +25,9 @@ class Linear : public Module {
   int64_t out_features() const { return out_features_; }
 
   const autograd::Variable& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+  /// The bias vector [out]; empty Variable when constructed without bias.
+  const autograd::Variable& bias() const { return bias_; }
 
  private:
   int64_t in_features_;

@@ -21,21 +21,12 @@ ag::Variable GruCell::Forward(const ag::Variable& x,
                               const ag::Variable& h) const {
   SAGDFN_CHECK_EQ(x.shape().dim(-1), input_size_);
   SAGDFN_CHECK_EQ(h.shape().dim(-1), hidden_size_);
-  const int64_t H = hidden_size_;
-  ag::Variable xi = input_proj_->Forward(x);   // [B, 3H]
+  ag::Variable xi = input_proj_->Forward(x);   // [B, 3H], (r|z|n)
   ag::Variable hh = hidden_proj_->Forward(h);  // [B, 3H]
-
-  ag::Variable r = ag::Sigmoid(
-      ag::Add(ag::Slice(xi, -1, 0, H), ag::Slice(hh, -1, 0, H)));
-  ag::Variable z = ag::Sigmoid(
-      ag::Add(ag::Slice(xi, -1, H, 2 * H), ag::Slice(hh, -1, H, 2 * H)));
-  ag::Variable n = ag::Tanh(
-      ag::Add(ag::Slice(xi, -1, 2 * H, 3 * H),
-              ag::Mul(r, ag::Slice(hh, -1, 2 * H, 3 * H))));
-  // h' = z * h + (1 - z) * n
-  ag::Variable one_minus_z = ag::Sub(
-      ag::Variable(tensor::Tensor::Ones(z.shape())), z);
-  return ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, n));
+  // Gates + candidate + blend in one fused pass (see autograd::GruStep):
+  // the unfused Slice/Sigmoid/Tanh/Mul/Add chain materialized ~10
+  // temporaries per step.
+  return ag::GruStep(xi, hh, h);
 }
 
 ag::Variable GruCell::InitialState(int64_t batch) const {

@@ -344,6 +344,15 @@ void Telemetry::EmitSnapshot(std::string_view label) {
 
 utils::Status Telemetry::WriteRegistryJson(const std::string& path,
                                            std::string_view title) const {
+  // Refresh the scratch-arena gauge at flush time: benches and jobs that
+  // never call EmitSnapshot would otherwise persist a stale (or absent)
+  // `arena.high_water_bytes`, and the process-wide max over every
+  // thread's arena is only meaningful once the workload has run.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->gauges["arena.high_water_bytes"] =
+        static_cast<double>(utils::ScratchArena::ProcessHighWater());
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return utils::Status::NotFound("cannot write registry json " + path);

@@ -31,7 +31,28 @@ utils::Status FrozenModel::Load(const core::SagdfnConfig& config,
 
 tensor::Tensor FrozenModel::Predict(const tensor::Tensor& x,
                                     const tensor::Tensor& future_tod) const {
+  return PlanFor(x.dim(0))->Run(x, future_tod);
+}
+
+tensor::Tensor FrozenModel::PredictEager(
+    const tensor::Tensor& x, const tensor::Tensor& future_tod) const {
   return model_->Predict(x, future_tod, snapshot_);
+}
+
+std::shared_ptr<const core::RolloutPlan> FrozenModel::PlanFor(
+    int64_t batch) const {
+  // Plan construction (instruction build + dry run) happens under the
+  // lock: concurrent first requests for one batch size build it once,
+  // and replays through already-cached plans only pay the map lookup.
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  auto it = plans_.find(batch);
+  if (it == plans_.end()) {
+    it = plans_
+             .emplace(batch, std::make_shared<const core::RolloutPlan>(
+                                 *model_, snapshot_, batch))
+             .first;
+  }
+  return it->second;
 }
 
 }  // namespace sagdfn::serve

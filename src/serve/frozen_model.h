@@ -1,9 +1,13 @@
 #ifndef SAGDFN_SERVE_FROZEN_MODEL_H_
 #define SAGDFN_SERVE_FROZEN_MODEL_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "core/rollout_plan.h"
 #include "core/sagdfn.h"
 #include "utils/status.h"
 
@@ -31,9 +35,22 @@ class FrozenModel {
 
   /// Thread-safe batched inference: `x` [B, h, N, C], `future_tod`
   /// [B, f] -> scaled predictions [B, f, N]. Per batch row the result is
-  /// bit-identical however the rows are batched.
+  /// bit-identical however the rows are batched. Replays the precompiled
+  /// rollout plan for the request's batch size (built lazily on first
+  /// sight of a batch size, then cached); bit-identical to PredictEager.
   tensor::Tensor Predict(const tensor::Tensor& x,
                          const tensor::Tensor& future_tod) const;
+
+  /// The original autograd-walking eval path (SagdfnModel::Predict with
+  /// no plan). Kept for differential tests and benchmarks against the
+  /// plan replay.
+  tensor::Tensor PredictEager(const tensor::Tensor& x,
+                              const tensor::Tensor& future_tod) const;
+
+  /// The cached execution plan for `batch`-sized requests, building it if
+  /// this batch size has not been seen yet. Thread-safe; the returned
+  /// plan is immutable and replayable concurrently.
+  std::shared_ptr<const core::RolloutPlan> PlanFor(int64_t batch) const;
 
   const core::SagdfnModel& model() const { return *model_; }
   const core::AdjacencySnapshot& snapshot() const { return snapshot_; }
@@ -45,6 +62,11 @@ class FrozenModel {
 
   std::unique_ptr<core::SagdfnModel> model_;
   core::AdjacencySnapshot snapshot_;
+  /// Plans are shape-specific; serving sees a handful of batch sizes
+  /// (bounded by the engine's max_batch), so a small map per model is
+  /// enough. Guarded by plans_mu_.
+  mutable std::mutex plans_mu_;
+  mutable std::map<int64_t, std::shared_ptr<const core::RolloutPlan>> plans_;
 };
 
 }  // namespace sagdfn::serve

@@ -117,6 +117,42 @@ struct Kernels {
   /// o = z*h + (1-z)*c   (GRU state blend, one pass)
   void (*gru_blend)(const float* z, const float* h, const float* c, float* o,
                     int64_t n);
+  /// o = sigmoid(a) * b; when r_out is non-null it also receives
+  /// sigmoid(a) (training keeps the gate for backward, eval passes null).
+  /// Per element this is the exact sigmoid-kernel value times b, so fusing
+  /// it changes no bits vs the unfused Sigmoid -> Mul chain.
+  void (*sigmoid_mul)(const float* a, const float* b, float* o, float* r_out,
+                      int64_t n);
+  /// Fused GConv-GRU tail: z = sigmoid(gz), t = tanh(c),
+  /// o = z*h + (1-z)*t — the Sigmoid -> Tanh -> GruBlend chain in one
+  /// pass. z_out / t_out are optional (null in eval). The blend uses the
+  /// same instruction sequence as gru_blend, so bits match the unfused
+  /// composition.
+  void (*gru_tail)(const float* gz, const float* h, const float* c, float* o,
+                   float* z_out, float* t_out, int64_t n);
+  /// Backward of sigmoid_mul: dg = gh*h * (r*(1-r)), dh = gh*r, where r is
+  /// the stored forward sigmoid and gh the incoming gradient.
+  void (*sigmoid_mul_grad)(const float* gh, const float* r, const float* h,
+                           float* dg, float* dh, int64_t n);
+  /// Backward of gru_tail: dgz = g*(h-t) * (z*(1-z)); dh = g*z;
+  /// dc = g*(1-z) * (1-t*t).
+  void (*gru_tail_grad)(const float* g, const float* z, const float* t,
+                        const float* h, float* dgz, float* dh, float* dc,
+                        int64_t n);
+  /// One full plain-GRU cell row (nn::GruCell), gates + candidate + blend
+  /// in one pass. xi and hh are [r|z|n] triples of length h_len (the two
+  /// affine projections), h the previous state:
+  ///   r = sigmoid(xi_r + hh_r), z = sigmoid(xi_z + hh_z),
+  ///   nc = tanh(xi_n + r*hh_n), o = z*h + (1-z)*nc.
+  /// r_out/z_out/n_out are optional (training stores them for backward).
+  void (*gru_step)(const float* xi, const float* hh, const float* h, float* o,
+                   float* r_out, float* z_out, float* n_out, int64_t h_len);
+  /// Fused backward of gru_step: given the output gradient g and the
+  /// stored r/z/nc plus h and the hh candidate section hh_n, writes the
+  /// [r|z|n] gradient rows dxi and dhh (length 3*h_len) and dh (h_len).
+  void (*gru_step_grad)(const float* g, const float* r, const float* z,
+                        const float* nc, const float* h, const float* hh_n,
+                        float* dxi, float* dhh, float* dh, int64_t h_len);
   /// Masked error partials over one block (metrics reduction).
   MaskedErrAcc (*masked_err)(const float* pred, const float* truth, int64_t n,
                              double mape_floor);

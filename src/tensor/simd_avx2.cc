@@ -444,6 +444,199 @@ void GruBlend(const float* z, const float* h, const float* c, float* o,
   for (; i < n; ++i) o[i] = std::fma(z[i], h[i], (1.0f - z[i]) * c[i]);
 }
 
+/// Copies `rem` (< 8) floats into a zero-padded aligned lane block. The
+/// fused sigmoid/tanh kernels run their full lane body over these pads so
+/// tail elements get the exact bits a full lane would (same contract as
+/// Tail8, extended to multi-input kernels).
+inline __m256 PadLoad(const float* a, int64_t rem) {
+  alignas(32) float in[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  for (int64_t k = 0; k < rem; ++k) in[k] = a[k];
+  return _mm256_load_ps(in);
+}
+
+inline void PadStore(float* o, __m256 v, int64_t rem) {
+  if (o == nullptr) return;
+  alignas(32) float out[8];
+  _mm256_store_ps(out, v);
+  for (int64_t k = 0; k < rem; ++k) o[k] = out[k];
+}
+
+void SigmoidMul(const float* a, const float* b, float* o, float* r_out,
+                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = SigmoidPs(_mm256_loadu_ps(a + i));
+    if (r_out != nullptr) _mm256_storeu_ps(r_out + i, r);
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(r, _mm256_loadu_ps(b + i)));
+  }
+  if (i < n) {
+    const int64_t rem = n - i;
+    const __m256 r = SigmoidPs(PadLoad(a + i, rem));
+    PadStore(r_out == nullptr ? nullptr : r_out + i, r, rem);
+    PadStore(o + i, _mm256_mul_ps(r, PadLoad(b + i, rem)), rem);
+  }
+}
+
+void GruTail(const float* gz, const float* h, const float* c, float* o,
+             float* z_out, float* t_out, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 z = SigmoidPs(_mm256_loadu_ps(gz + i));
+    const __m256 t = TanhPs(_mm256_loadu_ps(c + i));
+    if (z_out != nullptr) _mm256_storeu_ps(z_out + i, z);
+    if (t_out != nullptr) _mm256_storeu_ps(t_out + i, t);
+    // Same blend sequence as GruBlend, so fused == unfused bit-for-bit.
+    const __m256 blended = _mm256_fmadd_ps(
+        z, _mm256_loadu_ps(h + i), _mm256_mul_ps(_mm256_sub_ps(one, z), t));
+    _mm256_storeu_ps(o + i, blended);
+  }
+  if (i < n) {
+    const int64_t rem = n - i;
+    const __m256 z = SigmoidPs(PadLoad(gz + i, rem));
+    const __m256 t = TanhPs(PadLoad(c + i, rem));
+    PadStore(z_out == nullptr ? nullptr : z_out + i, z, rem);
+    PadStore(t_out == nullptr ? nullptr : t_out + i, t, rem);
+    const __m256 blended = _mm256_fmadd_ps(
+        z, PadLoad(h + i, rem), _mm256_mul_ps(_mm256_sub_ps(one, z), t));
+    PadStore(o + i, blended, rem);
+  }
+}
+
+void SigmoidMulGrad(const float* gh, const float* r, const float* h,
+                    float* dg, float* dh, int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vg = _mm256_loadu_ps(gh + i);
+    const __m256 vr = _mm256_loadu_ps(r + i);
+    const __m256 ds = _mm256_mul_ps(vr, _mm256_sub_ps(one, vr));
+    _mm256_storeu_ps(
+        dg + i,
+        _mm256_mul_ps(_mm256_mul_ps(vg, _mm256_loadu_ps(h + i)), ds));
+    _mm256_storeu_ps(dh + i, _mm256_mul_ps(vg, vr));
+  }
+  // Same association as the lanes: (g*h) * (r*(1-r)).
+  for (; i < n; ++i) {
+    dg[i] = (gh[i] * h[i]) * (r[i] * (1.0f - r[i]));
+    dh[i] = gh[i] * r[i];
+  }
+}
+
+void GruTailGrad(const float* g, const float* z, const float* t,
+                 const float* h, float* dgz, float* dh, float* dc,
+                 int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vg = _mm256_loadu_ps(g + i);
+    const __m256 vz = _mm256_loadu_ps(z + i);
+    const __m256 vt = _mm256_loadu_ps(t + i);
+    const __m256 dzs = _mm256_mul_ps(vz, _mm256_sub_ps(one, vz));
+    _mm256_storeu_ps(
+        dgz + i,
+        _mm256_mul_ps(
+            _mm256_mul_ps(vg, _mm256_sub_ps(_mm256_loadu_ps(h + i), vt)),
+            dzs));
+    _mm256_storeu_ps(dh + i, _mm256_mul_ps(vg, vz));
+    _mm256_storeu_ps(
+        dc + i,
+        _mm256_mul_ps(_mm256_mul_ps(vg, _mm256_sub_ps(one, vz)),
+                      _mm256_sub_ps(one, _mm256_mul_ps(vt, vt))));
+  }
+  for (; i < n; ++i) {
+    dgz[i] = (g[i] * (h[i] - t[i])) * (z[i] * (1.0f - z[i]));
+    dh[i] = g[i] * z[i];
+    dc[i] = (g[i] * (1.0f - z[i])) * (1.0f - t[i] * t[i]);
+  }
+}
+
+void GruStep(const float* xi, const float* hh, const float* h, float* o,
+             float* r_out, float* z_out, float* n_out, int64_t h_len) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const float* xi_z = xi + h_len;
+  const float* xi_n = xi + 2 * h_len;
+  const float* hh_z = hh + h_len;
+  const float* hh_n = hh + 2 * h_len;
+  int64_t i = 0;
+  for (; i + 8 <= h_len; i += 8) {
+    const __m256 r = SigmoidPs(
+        _mm256_add_ps(_mm256_loadu_ps(xi + i), _mm256_loadu_ps(hh + i)));
+    const __m256 z = SigmoidPs(
+        _mm256_add_ps(_mm256_loadu_ps(xi_z + i), _mm256_loadu_ps(hh_z + i)));
+    const __m256 nc = TanhPs(_mm256_fmadd_ps(r, _mm256_loadu_ps(hh_n + i),
+                                             _mm256_loadu_ps(xi_n + i)));
+    if (r_out != nullptr) _mm256_storeu_ps(r_out + i, r);
+    if (z_out != nullptr) _mm256_storeu_ps(z_out + i, z);
+    if (n_out != nullptr) _mm256_storeu_ps(n_out + i, nc);
+    const __m256 blended = _mm256_fmadd_ps(
+        z, _mm256_loadu_ps(h + i), _mm256_mul_ps(_mm256_sub_ps(one, z), nc));
+    _mm256_storeu_ps(o + i, blended);
+  }
+  if (i < h_len) {
+    const int64_t rem = h_len - i;
+    const __m256 r = SigmoidPs(
+        _mm256_add_ps(PadLoad(xi + i, rem), PadLoad(hh + i, rem)));
+    const __m256 z = SigmoidPs(
+        _mm256_add_ps(PadLoad(xi_z + i, rem), PadLoad(hh_z + i, rem)));
+    const __m256 nc =
+        TanhPs(_mm256_fmadd_ps(r, PadLoad(hh_n + i, rem),
+                               PadLoad(xi_n + i, rem)));
+    PadStore(r_out == nullptr ? nullptr : r_out + i, r, rem);
+    PadStore(z_out == nullptr ? nullptr : z_out + i, z, rem);
+    PadStore(n_out == nullptr ? nullptr : n_out + i, nc, rem);
+    const __m256 blended = _mm256_fmadd_ps(
+        z, PadLoad(h + i, rem), _mm256_mul_ps(_mm256_sub_ps(one, z), nc));
+    PadStore(o + i, blended, rem);
+  }
+}
+
+void GruStepGrad(const float* g, const float* r, const float* z,
+                 const float* nc, const float* h, const float* hh_n,
+                 float* dxi, float* dhh, float* dh, int64_t h_len) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= h_len; i += 8) {
+    const __m256 vg = _mm256_loadu_ps(g + i);
+    const __m256 vz = _mm256_loadu_ps(z + i);
+    const __m256 vr = _mm256_loadu_ps(r + i);
+    const __m256 vn = _mm256_loadu_ps(nc + i);
+    const __m256 one_minus_z = _mm256_sub_ps(one, vz);
+    const __m256 dz_pre = _mm256_mul_ps(
+        _mm256_mul_ps(vg, _mm256_sub_ps(_mm256_loadu_ps(h + i), vn)),
+        _mm256_mul_ps(vz, one_minus_z));
+    const __m256 dn_pre =
+        _mm256_mul_ps(_mm256_mul_ps(vg, one_minus_z),
+                      _mm256_sub_ps(one, _mm256_mul_ps(vn, vn)));
+    const __m256 dr_pre = _mm256_mul_ps(
+        _mm256_mul_ps(dn_pre, _mm256_loadu_ps(hh_n + i)),
+        _mm256_mul_ps(vr, _mm256_sub_ps(one, vr)));
+    _mm256_storeu_ps(dxi + i, dr_pre);
+    _mm256_storeu_ps(dxi + h_len + i, dz_pre);
+    _mm256_storeu_ps(dxi + 2 * h_len + i, dn_pre);
+    _mm256_storeu_ps(dhh + i, dr_pre);
+    _mm256_storeu_ps(dhh + h_len + i, dz_pre);
+    _mm256_storeu_ps(dhh + 2 * h_len + i, _mm256_mul_ps(dn_pre, vr));
+    _mm256_storeu_ps(dh + i, _mm256_mul_ps(vg, vz));
+  }
+  for (; i < h_len; ++i) {
+    const float gi = g[i];
+    const float zi = z[i];
+    const float ri = r[i];
+    const float ni = nc[i];
+    const float dz_pre = (gi * (h[i] - ni)) * (zi * (1.0f - zi));
+    const float dn_pre = (gi * (1.0f - zi)) * (1.0f - ni * ni);
+    const float dr_pre = (dn_pre * hh_n[i]) * (ri * (1.0f - ri));
+    dxi[i] = dr_pre;
+    dxi[h_len + i] = dz_pre;
+    dxi[2 * h_len + i] = dn_pre;
+    dhh[i] = dr_pre;
+    dhh[h_len + i] = dz_pre;
+    dhh[2 * h_len + i] = dn_pre * ri;
+    dh[i] = gi * zi;
+  }
+}
+
 MaskedErrAcc MaskedErr(const float* pred, const float* truth, int64_t n,
                        double mape_floor) {
   MaskedErrAcc acc;
@@ -536,6 +729,12 @@ const Kernels& Avx2Kernels() {
       .dot = Dot,
       .sum = Sum,
       .gru_blend = GruBlend,
+      .sigmoid_mul = SigmoidMul,
+      .gru_tail = GruTail,
+      .sigmoid_mul_grad = SigmoidMulGrad,
+      .gru_tail_grad = GruTailGrad,
+      .gru_step = GruStep,
+      .gru_step_grad = GruStepGrad,
       .masked_err = MaskedErr,
   };
   return table;

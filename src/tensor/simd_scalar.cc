@@ -136,6 +136,89 @@ void GruBlend(const float* z, const float* h, const float* c, float* o,
   for (int64_t i = 0; i < n; ++i) o[i] = z[i] * h[i] + (1.0f - z[i]) * c[i];
 }
 
+/// The two-branch stable sigmoid as a scalar expression, shared by the
+/// fused kernels so their per-element bits equal the sigmoid kernel's.
+inline float SigmoidScalar(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+void SigmoidMul(const float* a, const float* b, float* o, float* r_out,
+                int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float r = SigmoidScalar(a[i]);
+    if (r_out != nullptr) r_out[i] = r;
+    o[i] = r * b[i];
+  }
+}
+
+void GruTail(const float* gz, const float* h, const float* c, float* o,
+             float* z_out, float* t_out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float z = SigmoidScalar(gz[i]);
+    const float t = std::tanh(c[i]);
+    if (z_out != nullptr) z_out[i] = z;
+    if (t_out != nullptr) t_out[i] = t;
+    o[i] = z * h[i] + (1.0f - z) * t;  // same association as GruBlend
+  }
+}
+
+void SigmoidMulGrad(const float* gh, const float* r, const float* h,
+                    float* dg, float* dh, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dg[i] = (gh[i] * h[i]) * (r[i] * (1.0f - r[i]));
+    dh[i] = gh[i] * r[i];
+  }
+}
+
+void GruTailGrad(const float* g, const float* z, const float* t,
+                 const float* h, float* dgz, float* dh, float* dc,
+                 int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dgz[i] = (g[i] * (h[i] - t[i])) * (z[i] * (1.0f - z[i]));
+    dh[i] = g[i] * z[i];
+    dc[i] = (g[i] * (1.0f - z[i])) * (1.0f - t[i] * t[i]);
+  }
+}
+
+void GruStep(const float* xi, const float* hh, const float* h, float* o,
+             float* r_out, float* z_out, float* n_out, int64_t h_len) {
+  for (int64_t i = 0; i < h_len; ++i) {
+    const float r = SigmoidScalar(xi[i] + hh[i]);
+    const float z = SigmoidScalar(xi[h_len + i] + hh[h_len + i]);
+    const float nc = std::tanh(xi[2 * h_len + i] + r * hh[2 * h_len + i]);
+    if (r_out != nullptr) r_out[i] = r;
+    if (z_out != nullptr) z_out[i] = z;
+    if (n_out != nullptr) n_out[i] = nc;
+    o[i] = z * h[i] + (1.0f - z) * nc;
+  }
+}
+
+void GruStepGrad(const float* g, const float* r, const float* z,
+                 const float* nc, const float* h, const float* hh_n,
+                 float* dxi, float* dhh, float* dh, int64_t h_len) {
+  for (int64_t i = 0; i < h_len; ++i) {
+    const float gi = g[i];
+    const float zi = z[i];
+    const float ri = r[i];
+    const float ni = nc[i];
+    const float dz_pre = (gi * (h[i] - ni)) * (zi * (1.0f - zi));
+    const float dn_pre = (gi * (1.0f - zi)) * (1.0f - ni * ni);
+    const float dr_pre = (dn_pre * hh_n[i]) * (ri * (1.0f - ri));
+    dxi[i] = dr_pre;
+    dxi[h_len + i] = dz_pre;
+    dxi[2 * h_len + i] = dn_pre;
+    dhh[i] = dr_pre;
+    dhh[h_len + i] = dz_pre;
+    dhh[2 * h_len + i] = dn_pre * ri;
+    dh[i] = gi * zi;
+  }
+}
+
 MaskedErrAcc MaskedErr(const float* pred, const float* truth, int64_t n,
                        double mape_floor) {
   MaskedErrAcc acc;
@@ -191,6 +274,12 @@ const Kernels& ScalarKernels() {
       .dot = Dot,
       .sum = Sum,
       .gru_blend = GruBlend,
+      .sigmoid_mul = SigmoidMul,
+      .gru_tail = GruTail,
+      .sigmoid_mul_grad = SigmoidMulGrad,
+      .gru_tail_grad = GruTailGrad,
+      .gru_step = GruStep,
+      .gru_step_grad = GruStepGrad,
       .masked_err = MaskedErr,
   };
   return table;

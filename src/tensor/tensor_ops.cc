@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
 
@@ -322,6 +323,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul inner dims: " << a.shape().ToString() << " x "
       << b.shape().ToString();
   Tensor out{Shape({m, n})};
+  // Freshly constructed tensors are zeroed, so the accumulate-only macro
+  // kernel can run directly.
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -333,6 +336,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     MatMulRows(pa, pb, po, i0, i1, k, n);
   });
   return out;
+}
+
+void MatMulInto(const float* a, const float* b, float* o, int64_t rows,
+                int64_t k, int64_t n) {
+  std::memset(o, 0, sizeof(float) * rows * n);
+  const int64_t row_grain =
+      std::max<int64_t>(1, kMatMulGrainFlops / std::max<int64_t>(1, k * n));
+  ParallelFor(0, rows, row_grain, [&](int64_t i0, int64_t i1) {
+    MatMulRows(a, b, o, i0, i1, k, n);
+  });
+}
+
+void MatMulRowsInto(const float* a, const float* b, float* o, int64_t i0,
+                    int64_t i1, int64_t k, int64_t n) {
+  std::memset(o + i0 * n, 0, sizeof(float) * (i1 - i0) * n);
+  MatMulRows(a, b, o, i0, i1, k, n);
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {

@@ -156,6 +156,41 @@ TEST(ServeEngineTest, GreedyBatchingMatchesSerialBytes) {
   RunInterleaved(options, /*clients=*/3, /*jitter_seed=*/71);
 }
 
+TEST(ServeEngineTest, PlanReplayMatchesEagerBytes) {
+  // FrozenModel::Predict serves from the precompiled rollout plan; its
+  // bytes must match the eager autograd walk even when requests arrive
+  // through a loaded multi-worker engine with varying batch composition.
+  const core::SagdfnConfig config = TinyConfig();
+  auto model = MakeFrozen(config);
+  const std::vector<RequestData> requests = MakeRequests(config, 16, 11);
+  std::vector<Tensor> eager;
+  eager.reserve(requests.size());
+  for (const RequestData& r : requests) {
+    Tensor x(Shape({1, config.history, config.num_nodes, config.input_dim}));
+    std::memcpy(x.data(), r.x.data(), r.x.size() * sizeof(float));
+    Tensor tod(Shape({1, config.horizon}));
+    std::memcpy(tod.data(), r.future_tod.data(),
+                r.future_tod.size() * sizeof(float));
+    eager.push_back(model->PredictEager(x, tod));
+  }
+  EngineOptions options;
+  options.num_workers = 8;
+  options.max_batch = 4;
+  options.max_wait_us = 100;
+  InferenceEngine engine(model, options);
+  std::vector<std::future<Forecast>> futures;
+  futures.reserve(requests.size());
+  for (const RequestData& r : requests) {
+    futures.push_back(engine.Submit(r.x, r.future_tod));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Forecast forecast = futures[i].get();
+    ASSERT_TRUE(forecast.status.ok()) << forecast.status.ToString();
+    EXPECT_TRUE(BytesEqual(forecast.prediction, eager[i]))
+        << "request " << i << " differs from the eager reference";
+  }
+}
+
 TEST(ServeEngineTest, BatchedEqualsUnbatchedBitForBit) {
   const core::SagdfnConfig config = TinyConfig();
   auto model = MakeFrozen(config);

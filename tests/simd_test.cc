@@ -654,6 +654,199 @@ TEST(FusedOpsTest, GruBlendPassesGradCheck) {
       << error;
 }
 
+TEST(SimdKernelTest, GruStepFusedKernelsMatchAcrossLevels) {
+  if (SkipWithoutAvx2()) return;
+  const auto& sc = simd::KernelsFor(simd::Level::kScalar);
+  const auto& vx = simd::KernelsFor(simd::Level::kAvx2);
+  for (int64_t n : kAwkwardLengths) {
+    const auto a = RandomVec(n, 1600 + n);
+    const auto b = RandomVec(n, 1700 + n);
+    const auto h = RandomVec(n, 1800 + n);
+    const auto g = RandomVec(n, 1900 + n);
+    const auto z = RandomVec(n, 2000 + n, 0.02f, 0.98f);
+    const auto t = RandomVec(n, 2100 + n, -0.98f, 0.98f);
+    const auto xi = RandomVec(3 * n, 2200 + n);
+    const auto hh = RandomVec(3 * n, 2300 + n);
+    std::vector<float> o1(n), o2(n), r1(n), r2(n), z1(n), z2(n), t1(n),
+        t2(n);
+
+    // Forward kernels contain sigma / tanh: the AVX2 polynomials agree to
+    // tolerance with libm, and the auxiliary activation outputs must too.
+    sc.sigmoid_mul(a.data(), b.data(), o1.data(), r1.data(), n);
+    vx.sigmoid_mul(a.data(), b.data(), o2.data(), r2.data(), n);
+    ExpectClose(o2.data(), o1.data(), n, 1e-6, 1e-6, "sigmoid_mul");
+    ExpectClose(r2.data(), r1.data(), n, 1e-6, 1e-6, "sigmoid_mul r_out");
+
+    sc.gru_tail(a.data(), h.data(), b.data(), o1.data(), z1.data(),
+                t1.data(), n);
+    vx.gru_tail(a.data(), h.data(), b.data(), o2.data(), z2.data(),
+                t2.data(), n);
+    ExpectClose(o2.data(), o1.data(), n, 1e-6, 1e-6, "gru_tail");
+    ExpectClose(z2.data(), z1.data(), n, 1e-6, 1e-6, "gru_tail z_out");
+    ExpectClose(t2.data(), t1.data(), n, 1e-6, 1e-6, "gru_tail t_out");
+
+    std::vector<float> s1(3 * n), s2(3 * n), w1(3 * n), w2(3 * n);
+    sc.gru_step(xi.data(), hh.data(), h.data(), o1.data(), r1.data(),
+                z1.data(), t1.data(), n);
+    vx.gru_step(xi.data(), hh.data(), h.data(), o2.data(), r2.data(),
+                z2.data(), t2.data(), n);
+    ExpectClose(o2.data(), o1.data(), n, 1e-6, 1e-6, "gru_step");
+    ExpectClose(r2.data(), r1.data(), n, 1e-6, 1e-6, "gru_step r_out");
+    ExpectClose(z2.data(), z1.data(), n, 1e-6, 1e-6, "gru_step z_out");
+    ExpectClose(t2.data(), t1.data(), n, 1e-6, 1e-6, "gru_step n_out");
+
+    // Backward kernels are arithmetic-only; levels agree to tight
+    // tolerance (the compiler may contract scalar `1 - t*t` into an fma,
+    // so bitwise equality is only guaranteed WITHIN a level — see the
+    // offset-independence test below).
+    std::vector<float> dg1(n), dg2(n), dh1(n), dh2(n), dc1(n), dc2(n);
+    sc.sigmoid_mul_grad(g.data(), z.data(), h.data(), dg1.data(),
+                        dh1.data(), n);
+    vx.sigmoid_mul_grad(g.data(), z.data(), h.data(), dg2.data(),
+                        dh2.data(), n);
+    ExpectClose(dg2.data(), dg1.data(), n, 1e-6, 1e-6, "sigmoid_mul_grad dg");
+    ExpectClose(dh2.data(), dh1.data(), n, 1e-6, 1e-6, "sigmoid_mul_grad dh");
+
+    sc.gru_tail_grad(g.data(), z.data(), t.data(), h.data(), dg1.data(),
+                     dh1.data(), dc1.data(), n);
+    vx.gru_tail_grad(g.data(), z.data(), t.data(), h.data(), dg2.data(),
+                     dh2.data(), dc2.data(), n);
+    ExpectClose(dg2.data(), dg1.data(), n, 1e-6, 1e-6, "gru_tail_grad dgz");
+    ExpectClose(dh2.data(), dh1.data(), n, 1e-6, 1e-6, "gru_tail_grad dh");
+    ExpectClose(dc2.data(), dc1.data(), n, 1e-6, 1e-6, "gru_tail_grad dc");
+
+    const auto rr = RandomVec(n, 2400 + n, 0.02f, 0.98f);
+    sc.gru_step_grad(g.data(), rr.data(), z.data(), t.data(), h.data(),
+                     hh.data(), s1.data(), w1.data(), dh1.data(), n);
+    vx.gru_step_grad(g.data(), rr.data(), z.data(), t.data(), h.data(),
+                     hh.data(), s2.data(), w2.data(), dh2.data(), n);
+    ExpectClose(s2.data(), s1.data(), 3 * n, 1e-6, 1e-6, "gru_step_grad dxi");
+    ExpectClose(w2.data(), w1.data(), 3 * n, 1e-6, 1e-6, "gru_step_grad dhh");
+    ExpectClose(dh2.data(), dh1.data(), n, 1e-6, 1e-6, "gru_step_grad dh");
+  }
+}
+
+// The offset-independence contract (DESIGN.md §5f) for the fused GRU
+// kernels: computing a buffer in two arbitrary chunks must be
+// memcmp-identical to one whole-buffer call, at both dispatch levels.
+// This is what lets the rollout plan's fused row segments partition rows
+// freely while staying bit-identical to the eager path.
+TEST(SimdKernelTest, GruFusedKernelsOffsetIndependent) {
+  const int64_t n = 100;
+  const auto a = RandomVec(n, 3100);
+  const auto b = RandomVec(n, 3200);
+  const auto h = RandomVec(n, 3300);
+  const auto g = RandomVec(n, 3400);
+  const auto z = RandomVec(n, 3500, 0.02f, 0.98f);
+  const auto t = RandomVec(n, 3600, -0.98f, 0.98f);
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    if (level == simd::Level::kAvx2 && !simd::Avx2Available()) continue;
+    const auto& k = simd::KernelsFor(level);
+    for (int64_t split : {1, 37, 64, 99}) {
+      std::vector<float> whole(n), parts(n), whole2(n), parts2(n),
+          whole3(n), parts3(n);
+
+      k.sigmoid_mul(a.data(), b.data(), whole.data(), nullptr, n);
+      k.sigmoid_mul(a.data(), b.data(), parts.data(), nullptr, split);
+      k.sigmoid_mul(a.data() + split, b.data() + split,
+                    parts.data() + split, nullptr, n - split);
+      EXPECT_EQ(0,
+                std::memcmp(whole.data(), parts.data(), sizeof(float) * n))
+          << "sigmoid_mul split=" << split;
+
+      k.gru_tail(a.data(), h.data(), b.data(), whole.data(), nullptr,
+                 nullptr, n);
+      k.gru_tail(a.data(), h.data(), b.data(), parts.data(), nullptr,
+                 nullptr, split);
+      k.gru_tail(a.data() + split, h.data() + split, b.data() + split,
+                 parts.data() + split, nullptr, nullptr, n - split);
+      EXPECT_EQ(0,
+                std::memcmp(whole.data(), parts.data(), sizeof(float) * n))
+          << "gru_tail split=" << split;
+
+      k.sigmoid_mul_grad(g.data(), z.data(), h.data(), whole.data(),
+                         whole2.data(), n);
+      k.sigmoid_mul_grad(g.data(), z.data(), h.data(), parts.data(),
+                         parts2.data(), split);
+      k.sigmoid_mul_grad(g.data() + split, z.data() + split,
+                         h.data() + split, parts.data() + split,
+                         parts2.data() + split, n - split);
+      EXPECT_EQ(0,
+                std::memcmp(whole.data(), parts.data(), sizeof(float) * n));
+      EXPECT_EQ(
+          0, std::memcmp(whole2.data(), parts2.data(), sizeof(float) * n));
+
+      k.gru_tail_grad(g.data(), z.data(), t.data(), h.data(), whole.data(),
+                      whole2.data(), whole3.data(), n);
+      k.gru_tail_grad(g.data(), z.data(), t.data(), h.data(), parts.data(),
+                      parts2.data(), parts3.data(), split);
+      k.gru_tail_grad(g.data() + split, z.data() + split, t.data() + split,
+                      h.data() + split, parts.data() + split,
+                      parts2.data() + split, parts3.data() + split,
+                      n - split);
+      EXPECT_EQ(0,
+                std::memcmp(whole.data(), parts.data(), sizeof(float) * n));
+      EXPECT_EQ(
+          0, std::memcmp(whole2.data(), parts2.data(), sizeof(float) * n));
+      EXPECT_EQ(
+          0, std::memcmp(whole3.data(), parts3.data(), sizeof(float) * n));
+    }
+  }
+}
+
+TEST(FusedOpsTest, GruStepMatchesComposedChain) {
+  utils::Rng rng(49);
+  const int64_t batch = 6, hd = 5;
+  Tensor xi0 = Tensor::Normal(Shape({batch, 3 * hd}), rng);
+  Tensor hh0 = Tensor::Normal(Shape({batch, 3 * hd}), rng);
+  Tensor h0 = Tensor::Normal(Shape({batch, hd}), rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable xi(xi0.Clone(), true);
+    ag::Variable hh(hh0.Clone(), true);
+    ag::Variable h(h0.Clone(), true);
+    ag::Variable out;
+    if (fused) {
+      out = ag::GruStep(xi, hh, h);
+    } else {
+      auto part = [&](const ag::Variable& v, int64_t j) {
+        return ag::Slice(v, 1, j * hd, (j + 1) * hd);
+      };
+      ag::Variable r = ag::Sigmoid(ag::Add(part(xi, 0), part(hh, 0)));
+      ag::Variable z = ag::Sigmoid(ag::Add(part(xi, 1), part(hh, 1)));
+      ag::Variable nc =
+          ag::Tanh(ag::Add(part(xi, 2), ag::Mul(r, part(hh, 2))));
+      out = ag::Add(ag::Mul(z, h),
+                    ag::Mul(ag::RSubScalar(z, 1.0f), nc));
+    }
+    ag::MeanAll(ag::Mul(out, out)).Backward();
+    return std::vector<Tensor>{out.value(), xi.grad(), hh.grad(), h.grad()};
+  };
+  const auto f = run(true);
+  const auto r = run(false);
+  for (size_t i = 0; i < f.size(); ++i) {
+    EXPECT_TRUE(tensor::AllClose(f[i], r[i], 1e-5f, 1e-4f)) << "tensor " << i;
+  }
+}
+
+TEST(FusedOpsTest, GruStepPassesGradCheck) {
+  utils::Rng rng(50);
+  const int64_t batch = 2, hd = 3;
+  std::vector<Tensor> inputs = {
+      Tensor::Normal(Shape({batch, 3 * hd}), rng),
+      Tensor::Normal(Shape({batch, 3 * hd}), rng),
+      Tensor::Normal(Shape({batch, hd}), rng),
+  };
+  std::string error;
+  EXPECT_TRUE(ag::CheckGradients(
+      [](const std::vector<ag::Variable>& v) {
+        return ag::MeanAll(ag::Mul(ag::GruStep(v[0], v[1], v[2]),
+                                   ag::GruStep(v[0], v[1], v[2])));
+      },
+      inputs, &error))
+      << error;
+}
+
 // ---------------------------------------------------------------------------
 // 6. ScratchArena semantics
 // ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@ Usage:
         [--threshold PCT] [--require-simd-speedup]
     tools/check_bench_regression.py --serve-fresh BENCH_serve_latency.json
         [--serve-baseline PATH] [--threshold PCT]
+    tools/check_bench_regression.py --rollout-fresh BENCH_rollout_fusion.json
+        [--rollout-baseline PATH] [--threshold PCT] [--min-fusion-speedup X]
 
 The cost JSON is the per-kernel timer registry written by
 bench/bench_micro_ops (obs::WriteRegistryJson): for every timer it records
@@ -29,6 +31,15 @@ p99 latency grew by more than --threshold percent, or its throughput
 dropped by more than --threshold percent. Serve latency is wall-clock
 and queue-time dominated, so CI runs this comparison NON-BLOCKING
 (informational) — a failure there flags a trend to look at, not a gate.
+
+With --rollout-fresh the script compares a BENCH_rollout_fusion.json
+written by bench/bench_rollout (per-batch eager vs plan-replay rollout
+latency) against --rollout-baseline: it fails if any scenario's plan
+latency grew by more than --threshold percent, if any scenario's
+fused+planned speedup over eager fell below --min-fusion-speedup, or if
+the bench reported a broken invariant (replay-vs-eager mismatch, arena
+high-water drift). Like the serve comparison this is wall-clock bound,
+so CI runs it NON-BLOCKING with the JSON uploaded as an artifact.
 
 Exit codes: 0 ok, 1 regression (or speedup requirement unmet), 2 bad
 invocation or unreadable input.
@@ -146,6 +157,54 @@ def check_serve_latency(fresh, baseline, threshold_pct):
     return failures
 
 
+def load_rollout(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    scenarios = doc.get("rollout")
+    if not isinstance(scenarios, dict):
+        print(f"error: {path} has no 'rollout' object", file=sys.stderr)
+        sys.exit(2)
+    return scenarios, doc.get("invariants", {})
+
+
+def check_rollout(fresh, baseline, invariants, threshold_pct, min_speedup):
+    """Plan-latency growth, fusion speedup floor, and bench invariants."""
+    failures = []
+    for name in sorted(fresh):
+        speedup = fresh[name].get("speedup", 0.0)
+        marker = "ok" if speedup >= min_speedup else "TOO SLOW"
+        print(f"  {name:20s} eager {fresh[name].get('eager_ms', 0.0):8.3f}ms"
+              f"  plan {fresh[name].get('plan_ms', 0.0):8.3f}ms"
+              f"  speedup {speedup:5.2f}x (need {min_speedup:.2f}x)  {marker}")
+        if speedup < min_speedup:
+            failures.append((f"{name}.speedup", speedup))
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: scenario '{name}' missing from fresh run; skipping")
+            continue
+        base = baseline[name].get("plan_ms", 0.0)
+        new = fresh[name].get("plan_ms", 0.0)
+        if base <= 0.0:
+            continue
+        delta_pct = 100.0 * (new - base) / base
+        regressed = delta_pct > threshold_pct
+        marker = "REGRESSION" if regressed else "ok"
+        print(f"  {name:20s} plan_ms base {base:8.3f}  fresh {new:8.3f} "
+              f"({delta_pct:+6.1f}%)  {marker}")
+        if regressed:
+            failures.append((f"{name}.plan_ms", delta_pct))
+    for key in ("replay_matches_eager", "arena_stable_across_ticks"):
+        value = invariants.get(key, 0)
+        print(f"  invariant {key}: {value}")
+        if value != 1:
+            failures.append((f"invariants.{key}", value))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_micro_ops_cost.json",
@@ -166,10 +225,34 @@ def main():
     parser.add_argument("--serve-baseline",
                         default="bench/baselines/BENCH_serve_latency.json",
                         help="committed baseline serve latency JSON")
+    parser.add_argument("--rollout-fresh", default=None,
+                        help="BENCH_rollout_fusion.json from the run under "
+                             "test; selects the rollout fused-vs-eager "
+                             "comparison")
+    parser.add_argument("--rollout-baseline",
+                        default="bench/baselines/BENCH_rollout_fusion.json",
+                        help="committed baseline rollout fusion JSON")
+    parser.add_argument("--min-fusion-speedup", type=float, default=1.3,
+                        help="minimum fused+planned speedup over the eager "
+                             "rollout, per scenario")
     args = parser.parse_args()
     if args.threshold <= 0:
         print("error: --threshold must be positive", file=sys.stderr)
         return 2
+
+    if args.rollout_fresh is not None:
+        fresh, invariants = load_rollout(args.rollout_fresh)
+        baseline, _ = load_rollout(args.rollout_baseline)
+        print(f"== rollout fusion check (threshold {args.threshold:.0f}%, "
+              f"min speedup {args.min_fusion_speedup:.2f}x) ==")
+        failures = check_rollout(fresh, baseline, invariants, args.threshold,
+                                 args.min_fusion_speedup)
+        if failures:
+            for name, value in failures:
+                print(f"FAIL: {name} = {value}", file=sys.stderr)
+            return 1
+        print("rollout fusion check passed")
+        return 0
 
     if args.serve_fresh is not None:
         fresh = load_serve_scenarios(args.serve_fresh)

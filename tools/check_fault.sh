@@ -17,7 +17,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DSAGDFN_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target fault_injection_test serialization_test trainer_test \
-  serve_engine_test
+  serve_engine_test rollout_plan_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
@@ -29,6 +29,9 @@ echo "== checkpoint serialization robustness (ASan) =="
 
 echo "== inference engine lifecycle (ASan: shutdown, destroy-under-load) =="
 "${BUILD_DIR}/tests/serve_engine_test"
+
+echo "== rollout-plan replay (ASan: arena slab reuse, pinned weights) =="
+ctest --test-dir "${BUILD_DIR}" -L plan --output-on-failure
 
 echo "== trainer checkpoint/resume suites (ASan) =="
 "${BUILD_DIR}/tests/trainer_test" \

@@ -14,7 +14,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSAGDFN_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target utils_test tensor_reference_test serve_engine_test
+  --target utils_test tensor_reference_test serve_engine_test \
+  rollout_plan_test
 
 # halt_on_error so the first race aborts with a non-zero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -29,5 +30,8 @@ echo "== Parallel kernel determinism tests (8 threads) =="
 
 echo "== Inference engine concurrency suite (workers, shutdown, destroy-under-load) =="
 "${BUILD_DIR}/tests/serve_engine_test"
+
+echo "== Rollout-plan replay suite (concurrent plan replay, plan cache) =="
+"${BUILD_DIR}/tests/rollout_plan_test"
 
 echo "TSan check passed: no data races detected."
