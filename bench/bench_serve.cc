@@ -43,7 +43,29 @@ struct ScenarioSummary {
   double p99_us = 0.0;
   double throughput_rps = 0.0;
   int64_t requests = 0;
+  // Serve-path failure/lifecycle counters (EngineStats): deadline
+  // expiries, overload sheds, and model swaps/rollbacks seen during the
+  // scenario. Zero for the plain latency scenarios; the swap scenario
+  // asserts its own swap traffic through them.
+  int64_t timed_out = 0;
+  int64_t shed = 0;
+  int64_t swaps = 0;
+  int64_t rollbacks = 0;
 };
+
+void RecordEngineCounters(const serve::InferenceEngine& engine,
+                          ScenarioSummary* summary,
+                          benchmark::State& state) {
+  const serve::EngineStats stats = engine.stats();
+  summary->timed_out = stats.timed_out;
+  summary->shed = stats.shed;
+  summary->swaps = stats.swaps;
+  summary->rollbacks = stats.rollbacks;
+  state.counters["timed_out"] = static_cast<double>(stats.timed_out);
+  state.counters["shed"] = static_cast<double>(stats.shed);
+  state.counters["swaps"] = static_cast<double>(stats.swaps);
+  state.counters["rollbacks"] = static_cast<double>(stats.rollbacks);
+}
 
 // Scenario name -> summary, written to BENCH_serve_latency.json by main().
 std::map<std::string, ScenarioSummary>& Summaries() {
@@ -161,6 +183,7 @@ void BM_ServeLatency(benchmark::State& state) {
   summary.requests = static_cast<int64_t>(latencies_us.size());
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  RecordEngineCounters(engine, &summary, state);
   Summaries()["serve.w" + std::to_string(workers) + ".b" +
               std::to_string(max_batch)] = summary;
   state.counters["p50_us"] = summary.p50_us;
@@ -200,6 +223,7 @@ void BM_ServeLowWaitSweep(benchmark::State& state) {
   summary.requests = static_cast<int64_t>(latencies_us.size());
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  RecordEngineCounters(engine, &summary, state);
   Summaries()["serve.lowwait.wait" + std::to_string(wait_us)] = summary;
   state.counters["p50_us"] = summary.p50_us;
   state.counters["p99_us"] = summary.p99_us;
@@ -210,6 +234,55 @@ BENCHMARK(BM_ServeLowWaitSweep)
     ->Arg(0)
     ->Arg(50)
     ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Hot-swap cost: the 4-client replay with a model swap landing in the
+/// middle of every iteration. Measures what a registry publish does to
+/// request latency (the answer should be "nothing visible": swaps are a
+/// pointer exchange; in-flight batches finish on their pinned snapshot).
+void BM_ServeSwapUnderLoad(benchmark::State& state) {
+  const int64_t requests = 64;
+  serve::EngineOptions options;
+  options.num_workers = 2;
+  options.max_batch = g_max_batch > 0 ? g_max_batch : 8;
+  options.max_wait_us = g_max_wait_us;
+  serve::InferenceEngine engine(SharedModel(), options);
+  // A second snapshot with the same shapes: alternate swaps between the
+  // two so every iteration pays one full swap.
+  auto other = std::shared_ptr<const serve::FrozenModel>(
+      serve::FrozenModel::Freeze(
+          std::make_unique<core::SagdfnModel>(BenchConfig())));
+  const std::shared_ptr<const serve::FrozenModel> snapshots[2] = {
+      other, SharedModel()};
+
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  int64_t iteration = 0;
+  for (auto _ : state) {
+    std::thread swapper([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!engine.SwapModel(snapshots[iteration % 2]).ok()) {
+        state.SkipWithError("SwapModel failed");
+      }
+    });
+    wall_s += ReplayOnce(engine, requests, /*clients=*/4, &latencies_us);
+    swapper.join();
+    ++iteration;
+  }
+  ScenarioSummary summary;
+  summary.p50_us = PercentileUs(latencies_us, 50.0);
+  summary.p99_us = PercentileUs(latencies_us, 99.0);
+  summary.requests = static_cast<int64_t>(latencies_us.size());
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  RecordEngineCounters(engine, &summary, state);
+  Summaries()["serve.swap_under_load"] = summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+}
+BENCHMARK(BM_ServeSwapUnderLoad)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
@@ -270,9 +343,15 @@ utils::Status WriteSummaryJson(const std::string& path) {
   for (const auto& [name, s] : Summaries()) {
     std::fprintf(f,
                  "    \"%s\": {\"p50_us\": %.3f, \"p99_us\": %.3f, "
-                 "\"throughput_rps\": %.3f, \"requests\": %lld}%s\n",
+                 "\"throughput_rps\": %.3f, \"requests\": %lld, "
+                 "\"timed_out\": %lld, \"shed\": %lld, \"swaps\": %lld, "
+                 "\"rollbacks\": %lld}%s\n",
                  name.c_str(), s.p50_us, s.p99_us, s.throughput_rps,
                  static_cast<long long>(s.requests),
+                 static_cast<long long>(s.timed_out),
+                 static_cast<long long>(s.shed),
+                 static_cast<long long>(s.swaps),
+                 static_cast<long long>(s.rollbacks),
                  ++emitted < Summaries().size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");

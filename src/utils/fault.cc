@@ -22,6 +22,14 @@ const char* SiteName(FaultSite site) {
       return "io_fail@load";
     case FaultSite::kTruncate:
       return "truncate_ckpt";
+    case FaultSite::kBadCandidate:
+      return "bad_candidate";
+    case FaultSite::kNanForecast:
+      return "nan_forecast";
+    case FaultSite::kSlowBatch:
+      return "slow_batch";
+    case FaultSite::kSwapRace:
+      return "swap_race";
   }
   return "?";
 }
@@ -165,6 +173,43 @@ Status FaultInjector::ParseSpec(const std::string& spec,
         return Status::InvalidArgument("fault term '" + term +
                                        "': expected truncate_ckpt[@save=N]");
       }
+    } else if (kind == "bad_candidate") {
+      rule.site = FaultSite::kBadCandidate;
+      if (key.empty()) {
+        rule.index = 1;  // default: the first candidate published
+      } else if (key == "publish" && index >= 1) {
+        rule.index = index;
+      } else {
+        return Status::InvalidArgument(
+            "fault term '" + term + "': expected bad_candidate[@publish=N]");
+      }
+    } else if (kind == "nan_forecast") {
+      rule.site = FaultSite::kNanForecast;
+      if (key == "prob") {
+        rule.prob = prob;
+      } else if (key == "batch" && index >= 1) {
+        rule.index = index;
+      } else {
+        return Status::InvalidArgument(
+            "fault term '" + term + "': expected @batch=N or @prob=P");
+      }
+    } else if (kind == "slow_batch") {
+      rule.site = FaultSite::kSlowBatch;
+      if (key != "us" || index < 1) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected slow_batch@us=N");
+      }
+      rule.param = index;
+    } else if (kind == "swap_race") {
+      rule.site = FaultSite::kSwapRace;
+      if (key.empty()) {
+        rule.param = 2000;  // default race-window width in microseconds
+      } else if (key == "us" && index >= 1) {
+        rule.param = index;
+      } else {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': expected swap_race[@us=N]");
+      }
     } else {
       return Status::InvalidArgument("unknown fault kind '" + kind +
                                      "' in term '" + term + "'");
@@ -220,6 +265,17 @@ bool FaultInjector::FireCounted(FaultSite site) {
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t occurrence = ++counters_[static_cast<int>(site)];
   return FireLocked(site, occurrence);
+}
+
+bool FaultInjector::FireParam(FaultSite site, int64_t* out_param) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    *out_param = rule.param;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace sagdfn::utils

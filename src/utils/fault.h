@@ -14,18 +14,23 @@ namespace sagdfn::utils {
 
 /// Where a fault can be injected. Each site is probed by exactly one
 /// component of the training runtime (core/trainer.cc and
-/// nn/serialization.cc), so a spec term maps to one well-defined failure.
+/// nn/serialization.cc) or the serving runtime (src/serve), so a spec
+/// term maps to one well-defined failure.
 enum class FaultSite {
-  kLoss = 0,   // nan_loss:      poison the training loss before the guard
-  kGrad,       // nan_grad:      poison parameter gradients after backward
-  kCrash,      // crash:         abort the training loop after a checkpoint
-  kSaveFail,   // io_fail@save:  checkpoint write reports an I/O error
-  kLoadFail,   // io_fail@load:  checkpoint read reports an I/O error
-  kTruncate,   // truncate_ckpt: checkpoint bytes cut before publication
+  kLoss = 0,      // nan_loss:      poison the training loss before the guard
+  kGrad,          // nan_grad:      poison parameter gradients after backward
+  kCrash,         // crash:         abort the training loop after a checkpoint
+  kSaveFail,      // io_fail@save:  checkpoint write reports an I/O error
+  kLoadFail,      // io_fail@load:  checkpoint read reports an I/O error
+  kTruncate,      // truncate_ckpt: checkpoint bytes cut before publication
+  kBadCandidate,  // bad_candidate: registry quality gate fails a candidate
+  kNanForecast,   // nan_forecast:  poison a served micro-batch's forecasts
+  kSlowBatch,     // slow_batch:    stall a served micro-batch's compute
+  kSwapRace,      // swap_race:     widen the snapshot->compute race window
 };
 
 /// Number of distinct FaultSite values (for counter arrays).
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 10;
 
 /// Deterministic fault-injection harness for the fault-tolerant training
 /// runtime. Configured from a spec string (usually the SAGDFN_FAULT_SPEC
@@ -39,6 +44,13 @@ inline constexpr int kNumFaultSites = 6;
 ///   io_fail@load=1      the 1st checkpoint load fails like a read error
 ///   truncate_ckpt       truncate the 1st checkpoint's bytes pre-publish
 ///   truncate_ckpt@save=2  ... the 2nd checkpoint's bytes
+///   bad_candidate       fail the 1st registry publish's quality gate
+///   bad_candidate@publish=2  ... the 2nd publish's gate
+///   nan_forecast@prob=0.5  poison a micro-batch's forecast with NaN
+///   nan_forecast@batch=3   ... exactly the 3rd micro-batch (1-based)
+///   slow_batch@us=500   stall every micro-batch's compute by 500 us
+///   swap_race           sleep between model-snapshot grab and compute
+///   swap_race@us=2000   ... with an explicit window width
 ///   seed=99             seed for the probabilistic (@prob) terms
 ///
 /// Indexed terms (@iter/@epoch/@save/@load) fire exactly once;
@@ -79,16 +91,22 @@ class FaultInjector {
   /// epoch). Returns true if a fault fires now; one-shot rules latch.
   bool Fire(FaultSite site, int64_t index);
 
-  /// Probes an occurrence-counted site (kSaveFail/kLoadFail/kTruncate):
-  /// each call advances the site's 1-based counter, and a rule with
-  /// index N fires on the Nth probe.
+  /// Probes an occurrence-counted site (kSaveFail/kLoadFail/kTruncate/
+  /// kBadCandidate/kNanForecast@batch): each call advances the site's
+  /// 1-based counter, and a rule with index N fires on the Nth probe.
   bool FireCounted(FaultSite site);
+
+  /// Probes a parameterized always-on site (kSlowBatch/kSwapRace).
+  /// Returns true when a rule for the site is armed and writes the rule's
+  /// parameter (microseconds) to `*out_param`.
+  bool FireParam(FaultSite site, int64_t* out_param);
 
  private:
   struct Rule {
     FaultSite site;
     int64_t index = -1;   // trigger index; -1 for probabilistic rules
     double prob = 0.0;    // used when index < 0
+    int64_t param = 0;    // payload for parameterized sites (microseconds)
     bool fired = false;   // one-shot latch for indexed rules
     std::string term;     // original spec term, for log lines
   };

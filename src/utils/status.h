@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -56,6 +58,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -268,5 +268,52 @@ TEST_F(FaultInjectionTest, InjectedLoadFailureSurfacesAsStatus) {
   EXPECT_TRUE(resumed2.Resume(latest).ok());
 }
 
+TEST_F(FaultInjectionTest, ServeSiteSpecsParse) {
+  utils::FaultInjector injector;
+  EXPECT_TRUE(injector.Configure("bad_candidate").ok());
+  EXPECT_TRUE(injector.Configure("bad_candidate@publish=3").ok());
+  EXPECT_TRUE(injector.Configure("nan_forecast@prob=0.5,seed=9").ok());
+  EXPECT_TRUE(injector.Configure("nan_forecast@batch=2").ok());
+  EXPECT_TRUE(injector.Configure("slow_batch@us=500").ok());
+  EXPECT_TRUE(injector.Configure("swap_race").ok());
+  EXPECT_TRUE(injector.Configure("swap_race@us=10000").ok());
+  EXPECT_TRUE(
+      injector.Configure("bad_candidate, slow_batch@us=100, swap_race").ok());
+
+  EXPECT_FALSE(injector.Configure("bad_candidate@publish=0").ok());
+  EXPECT_FALSE(injector.Configure("nan_forecast").ok());      // no trigger
+  EXPECT_FALSE(injector.Configure("nan_forecast@prob=2").ok());
+  EXPECT_FALSE(injector.Configure("slow_batch").ok());        // us required
+  EXPECT_FALSE(injector.Configure("slow_batch@us=0").ok());
+  EXPECT_FALSE(injector.Configure("swap_race@iter=1").ok());  // wrong key
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST_F(FaultInjectionTest, BadCandidateCountsPublishes) {
+  utils::FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("bad_candidate@publish=2").ok());
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate));
+  EXPECT_TRUE(injector.FireCounted(utils::FaultSite::kBadCandidate));
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate));
+}
+
+TEST_F(FaultInjectionTest, ParamSitesReturnConfiguredValue) {
+  utils::FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("slow_batch@us=750").ok());
+  int64_t us = 0;
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSlowBatch, &us));
+  EXPECT_EQ(us, 750);
+  // Param rules are always-on, not one-shot: every batch stalls.
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSlowBatch, &us));
+  // A site with no rule never fires and leaves the param untouched.
+  int64_t race = -1;
+  EXPECT_FALSE(injector.FireParam(utils::FaultSite::kSwapRace, &race));
+  EXPECT_EQ(race, -1);
+
+  ASSERT_TRUE(injector.Configure("swap_race").ok());
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSwapRace, &race));
+  EXPECT_EQ(race, 2000);  // documented default window
+}
+
 }  // namespace
 }  // namespace sagdfn

@@ -11,6 +11,9 @@
 
 #include "core/sagdfn.h"
 #include "nn/mlp.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
+#include "serve/registry.h"
 #include "tensor/tensor_ops.h"
 #include "utils/fault.h"
 #include "utils/rng.h"
@@ -409,6 +412,73 @@ TEST(SerializationFuzzTest, TruncationSweepNeverCrashes) {
     EXPECT_FALSE(status.ok()) << "keep=" << keep;
     EXPECT_TRUE(ParamsMemEqual(target, before)) << "keep=" << keep;
   }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationFuzzTest, RegistryGateRejectsCorruptCandidates) {
+  // End-to-end corrupt-candidate corpus through the serving registry:
+  // bit-flipped and truncated checkpoints published to a live engine must
+  // all be turned away by the quality gate without the live FrozenModel
+  // pointer ever changing — the serve path inherits the loader's
+  // fail-closed contract.
+  core::SagdfnConfig config;
+  config.num_nodes = 8;
+  config.embedding_dim = 4;
+  config.m = 4;
+  config.k = 2;
+  config.hidden_dim = 5;
+  config.heads = 1;
+  config.ffn_hidden = 4;
+  config.diffusion_steps = 1;
+  config.history = 3;
+  config.horizon = 2;
+  config.seed = 7;
+  const std::string path = TempPath("fuzz_registry.ckpt");
+  {
+    core::SagdfnModel candidate(config);
+    ASSERT_TRUE(SaveModule(candidate, path).ok());
+  }
+  const std::string pristine = ReadFileBytes(path);
+  ASSERT_GT(pristine.size(), 64u);
+
+  auto live = std::shared_ptr<const serve::FrozenModel>(
+      serve::FrozenModel::Freeze(
+          std::make_unique<core::SagdfnModel>(config)));
+  serve::InferenceEngine engine(live, serve::EngineOptions{});
+  serve::ModelRegistry registry(&engine, serve::RegistryOptions{});
+
+  utils::Rng fuzz(5678);
+  int64_t rejected = 0;
+  // Bit flips in the structural prefix (header, meta, tensor records all
+  // live early in the file; a flip deep in a payload would load fine and
+  // legitimately publish).
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes = pristine;
+    const auto pos = static_cast<size_t>(fuzz.UniformInt(64));
+    const int bit = static_cast<int>(fuzz.UniformInt(8));
+    bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << bit));
+    if (bytes == pristine) continue;
+    WriteFileBytes(path, bytes);
+    utils::Status status = registry.Publish(path);
+    if (!status.ok()) ++rejected;
+    // A flip the loader cannot distinguish from a valid file may publish;
+    // either way the engine must keep serving a valid snapshot.
+    ASSERT_NE(engine.model_snapshot(), nullptr);
+  }
+  // Truncation sweep: every strict prefix must be rejected, and the live
+  // pointer (re-pinned, since a payload-only flip above may have
+  // legitimately published) must never move again.
+  const serve::FrozenModel* pinned = engine.model_snapshot().get();
+  for (size_t keep = 0; keep < pristine.size(); keep += 17) {
+    WriteFileBytes(path, pristine.substr(0, keep));
+    utils::Status status = registry.Publish(path);
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    ++rejected;
+    EXPECT_EQ(engine.model_snapshot().get(), pinned)
+        << "truncated candidate (keep=" << keep << ") moved the live model";
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(registry.stats().rejected, rejected);
   std::remove(path.c_str());
 }
 

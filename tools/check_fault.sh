@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the fault-tolerance suites under AddressSanitizer and runs every
 # ctest target labeled `fault`, plus the checkpoint serialization and
-# trainer resume suites. Exercises the whole injected-fault matrix
-# (nan_loss / nan_grad / crash / io_fail / truncate_ckpt) with ASan
-# watching the recovery paths: any leak, use-after-free, or buffer
-# overflow on a rollback/restore path fails the script.
+# trainer resume suites. Exercises the whole injected-fault matrix —
+# trainer sites (nan_loss / nan_grad / crash / io_fail / truncate_ckpt)
+# and serve sites (bad_candidate / nan_forecast / slow_batch / swap_race)
+# — with ASan watching the recovery paths: any leak, use-after-free, or
+# buffer overflow on a rollback/restore/rollback-swap path fails the
+# script.
 #
 # Usage: tools/check_fault.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -17,7 +19,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DSAGDFN_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target fault_injection_test serialization_test trainer_test \
-  serve_engine_test rollout_plan_test
+  serve_engine_test rollout_plan_test registry_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
@@ -29,6 +31,13 @@ echo "== checkpoint serialization robustness (ASan) =="
 
 echo "== inference engine lifecycle (ASan: shutdown, destroy-under-load) =="
 "${BUILD_DIR}/tests/serve_engine_test"
+
+echo "== registry serve-side fault sites (ASan: bad_candidate, nan_forecast, slow_batch, swap_race) =="
+"${BUILD_DIR}/tests/registry_test"
+
+echo "== registry corrupt-candidate fuzz corpus (ASan) =="
+"${BUILD_DIR}/tests/serialization_test" \
+  --gtest_filter='SerializationFuzzTest.RegistryGateRejectsCorruptCandidates'
 
 echo "== rollout-plan replay (ASan: arena slab reuse, pinned weights) =="
 ctest --test-dir "${BUILD_DIR}" -L plan --output-on-failure

@@ -15,7 +15,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DSAGDFN_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target utils_test tensor_reference_test serve_engine_test \
-  rollout_plan_test
+  rollout_plan_test registry_test
 
 # halt_on_error so the first race aborts with a non-zero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -33,5 +33,8 @@ echo "== Inference engine concurrency suite (workers, shutdown, destroy-under-lo
 
 echo "== Rollout-plan replay suite (concurrent plan replay, plan cache) =="
 "${BUILD_DIR}/tests/rollout_plan_test"
+
+echo "== Hot-swap registry suite (swap-under-load, probation rollback from worker threads) =="
+"${BUILD_DIR}/tests/registry_test"
 
 echo "TSan check passed: no data races detected."

@@ -13,8 +13,13 @@
 //       Load a checkpoint (built with the same flags) and evaluate it.
 //   serve --dataset <name> --model model.ckpt [--workers W] [--batch B]
 //         [--max-wait-us U] [--requests R] [--clients C]
+//         [--registry_dir DIR] [--deadline_ms MS]
 //       Replay test-split windows through the batched inference engine
 //       from C concurrent clients and report latency percentiles.
+//       --registry_dir watches DIR for candidate checkpoints and
+//       hot-swaps any that pass the quality gate while the replay runs;
+//       --deadline_ms applies a per-request deadline (expired requests
+//       are rejected, never executed).
 //
 // Examples:
 //   sagdfn_cli generate --dataset metr-la-sim --out metr.csv
@@ -39,6 +44,7 @@
 #include "obs/telemetry.h"
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
+#include "serve/registry.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
@@ -250,7 +256,32 @@ int Serve(const utils::CommandLine& cli, const std::string& name) {
   options.num_workers = cli.GetInt("workers", 2);
   options.max_batch = cli.GetInt("batch", 8);
   options.max_wait_us = cli.GetInt("max-wait-us", 1000);
+  const int64_t deadline_ms = cli.GetInt("deadline_ms", 0);
+  options.default_deadline_us = deadline_ms * 1000;
   serve::InferenceEngine engine(model, options);
+
+  // Optional hot-swap registry: watch --registry_dir for candidate
+  // checkpoints, gate them against a held-out slice of the test split,
+  // and swap winners in while the replay below is running.
+  const std::string registry_dir = cli.GetString("registry_dir", "");
+  std::unique_ptr<serve::ModelRegistry> registry;
+  if (!registry_dir.empty()) {
+    serve::RegistryOptions registry_options;
+    registry_options.watch_dir = registry_dir;
+    const int64_t eval_windows =
+        std::min<int64_t>(8, dataset.NumSamples(data::Split::kTest));
+    if (eval_windows > 0) {
+      data::Batch eval = dataset.GetBatch(data::Split::kTest, 0, eval_windows);
+      registry_options.eval_x = eval.x;
+      registry_options.eval_tod = eval.future_tod;
+      registry_options.eval_y = eval.y_scaled;
+    }
+    registry = std::make_unique<serve::ModelRegistry>(&engine,
+                                                      registry_options);
+    registry->StartWatching(/*interval_ms=*/200);
+    std::cout << "registry: watching " << registry_dir
+              << " for candidate checkpoints\n";
+  }
 
   const int64_t clients = std::max<int64_t>(1, cli.GetInt("clients", 4));
   std::vector<ServeRequest> requests =
@@ -306,6 +337,15 @@ int Serve(const utils::CommandLine& cli, const std::string& name) {
   table.AddRow({"requests", std::to_string(requests.size())});
   table.AddRow({"failures", std::to_string(failures)});
   table.AddRow({"batches", std::to_string(stats.batches)});
+  table.AddRow({"timed out", std::to_string(stats.timed_out)});
+  table.AddRow({"shed", std::to_string(stats.shed)});
+  table.AddRow({"swaps", std::to_string(stats.swaps)});
+  table.AddRow({"rollbacks", std::to_string(stats.rollbacks)});
+  if (registry != nullptr) {
+    const serve::RegistryStats rstats = registry->stats();
+    table.AddRow({"candidates published", std::to_string(rstats.published)});
+    table.AddRow({"candidates rejected", std::to_string(rstats.rejected)});
+  }
   table.AddRow({"p50 latency", utils::FormatDouble(percentile(0.5), 0) +
                                    " us"});
   table.AddRow({"p99 latency", utils::FormatDouble(percentile(0.99), 0) +
