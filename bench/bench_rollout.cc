@@ -13,13 +13,16 @@
 // that JSON against the committed baseline in bench/baselines/.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/sagdfn.h"
 #include "serve/frozen_model.h"
 #include "tensor/tensor.h"
@@ -32,6 +35,13 @@ namespace {
 struct Scenario {
   double eager_ms = 0.0;
   double plan_ms = 0.0;
+  // Per-iteration latency percentiles via the shared unbiased estimator
+  // (bench::PercentileSorted) — the same math bench_serve reports, so
+  // the two benches' numbers are comparable.
+  double eager_p50_ms = 0.0;
+  double eager_p99_ms = 0.0;
+  double plan_p50_ms = 0.0;
+  double plan_p99_ms = 0.0;
 };
 
 std::map<std::string, Scenario>& Scenarios() {
@@ -102,14 +112,19 @@ void BM_RolloutEager(benchmark::State& state) {
   std::shared_ptr<const serve::FrozenModel> model = SharedModel();
   const Inputs& in = InputsFor(batch);
   double total_s = 0.0;
-  int64_t iters = 0;
+  std::vector<double> iter_ms;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(model->PredictEager(in.x, in.tod));
-    total_s += SecondsSince(t0);
-    ++iters;
+    const double s = SecondsSince(t0);
+    total_s += s;
+    iter_ms.push_back(1e3 * s);
   }
-  Scenarios()[ScenarioName(batch)].eager_ms = 1e3 * total_s / iters;
+  std::sort(iter_ms.begin(), iter_ms.end());
+  Scenario& scenario = Scenarios()[ScenarioName(batch)];
+  scenario.eager_ms = 1e3 * total_s / static_cast<double>(iter_ms.size());
+  scenario.eager_p50_ms = bench::PercentileSorted(iter_ms, 50.0);
+  scenario.eager_p99_ms = bench::PercentileSorted(iter_ms, 99.0);
 }
 BENCHMARK(BM_RolloutEager)
     ->ArgNames({"batch"})
@@ -126,14 +141,19 @@ void BM_RolloutPlan(benchmark::State& state) {
   // is paid once per (model, batch) and amortized across every request.
   model->PlanFor(batch);
   double total_s = 0.0;
-  int64_t iters = 0;
+  std::vector<double> iter_ms;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(model->Predict(in.x, in.tod));
-    total_s += SecondsSince(t0);
-    ++iters;
+    const double s = SecondsSince(t0);
+    total_s += s;
+    iter_ms.push_back(1e3 * s);
   }
-  Scenarios()[ScenarioName(batch)].plan_ms = 1e3 * total_s / iters;
+  std::sort(iter_ms.begin(), iter_ms.end());
+  Scenario& scenario = Scenarios()[ScenarioName(batch)];
+  scenario.plan_ms = 1e3 * total_s / static_cast<double>(iter_ms.size());
+  scenario.plan_p50_ms = bench::PercentileSorted(iter_ms, 50.0);
+  scenario.plan_p99_ms = bench::PercentileSorted(iter_ms, 99.0);
 }
 BENCHMARK(BM_RolloutPlan)
     ->ArgNames({"batch"})
@@ -195,8 +215,11 @@ bool WriteSummaryJson(const std::string& path, int replay_matches,
     const double speedup = s.plan_ms > 0.0 ? s.eager_ms / s.plan_ms : 0.0;
     std::fprintf(f,
                  "    \"%s\": {\"eager_ms\": %.4f, \"plan_ms\": %.4f, "
-                 "\"speedup\": %.3f}%s\n",
-                 name.c_str(), s.eager_ms, s.plan_ms, speedup,
+                 "\"speedup\": %.3f, \"eager_p50_ms\": %.4f, "
+                 "\"eager_p99_ms\": %.4f, \"plan_p50_ms\": %.4f, "
+                 "\"plan_p99_ms\": %.4f}%s\n",
+                 name.c_str(), s.eager_ms, s.plan_ms, speedup, s.eager_p50_ms,
+                 s.eager_p99_ms, s.plan_p50_ms, s.plan_p99_ms,
                  ++emitted < Scenarios().size() ? "," : "");
   }
   std::fprintf(f,

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -22,8 +23,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/sagdfn.h"
 #include "serve/engine.h"
+#include "serve/forecast_cache.h"
 #include "serve/frozen_model.h"
 #include "tensor/tensor.h"
 #include "utils/rng.h"
@@ -37,6 +40,9 @@ namespace {
 // committed baseline numbers.
 int64_t g_max_wait_us = 200;
 int64_t g_max_batch = 0;
+// --readers overrides the reader-thread count of the cached-read
+// scenario (0 = use the registered benchmark argument).
+int64_t g_readers = 0;
 
 struct ScenarioSummary {
   double p50_us = 0.0;
@@ -121,12 +127,16 @@ const RequestStream& SharedStream(int64_t count) {
   return streams.emplace(count, std::move(stream)).first->second;
 }
 
-double PercentileUs(std::vector<double> sorted_us, double pct) {
-  if (sorted_us.empty()) return 0.0;
-  std::sort(sorted_us.begin(), sorted_us.end());
-  const auto idx = static_cast<size_t>(
-      pct / 100.0 * static_cast<double>(sorted_us.size() - 1) + 0.5);
-  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+/// Sorts the scenario's latency sample ONCE and fills the summary
+/// percentiles through the shared unbiased estimator
+/// (bench::PercentileSorted) — one sort per scenario instead of one per
+/// percentile query, and no +0.5 index bias.
+void FillLatencyPercentiles(std::vector<double>* latencies_us,
+                            ScenarioSummary* summary) {
+  std::sort(latencies_us->begin(), latencies_us->end());
+  summary->p50_us = bench::PercentileSorted(*latencies_us, 50.0);
+  summary->p99_us = bench::PercentileSorted(*latencies_us, 99.0);
+  summary->requests = static_cast<int64_t>(latencies_us->size());
 }
 
 /// Replays `requests` windows from `clients` submitter threads and
@@ -178,9 +188,7 @@ void BM_ServeLatency(benchmark::State& state) {
     wall_s += ReplayOnce(engine, requests, /*clients=*/4, &latencies_us);
   }
   ScenarioSummary summary;
-  summary.p50_us = PercentileUs(latencies_us, 50.0);
-  summary.p99_us = PercentileUs(latencies_us, 99.0);
-  summary.requests = static_cast<int64_t>(latencies_us.size());
+  FillLatencyPercentiles(&latencies_us, &summary);
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
   RecordEngineCounters(engine, &summary, state);
@@ -218,9 +226,7 @@ void BM_ServeLowWaitSweep(benchmark::State& state) {
     wall_s += ReplayOnce(engine, requests, /*clients=*/4, &latencies_us);
   }
   ScenarioSummary summary;
-  summary.p50_us = PercentileUs(latencies_us, 50.0);
-  summary.p99_us = PercentileUs(latencies_us, 99.0);
-  summary.requests = static_cast<int64_t>(latencies_us.size());
+  FillLatencyPercentiles(&latencies_us, &summary);
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
   RecordEngineCounters(engine, &summary, state);
@@ -271,9 +277,7 @@ void BM_ServeSwapUnderLoad(benchmark::State& state) {
     ++iteration;
   }
   ScenarioSummary summary;
-  summary.p50_us = PercentileUs(latencies_us, 50.0);
-  summary.p99_us = PercentileUs(latencies_us, 99.0);
-  summary.requests = static_cast<int64_t>(latencies_us.size());
+  FillLatencyPercentiles(&latencies_us, &summary);
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
   RecordEngineCounters(engine, &summary, state);
@@ -319,9 +323,7 @@ void BM_ServeUnbatchedBaseline(benchmark::State& state) {
                   .count();
   }
   ScenarioSummary summary;
-  summary.p50_us = PercentileUs(latencies_us, 50.0);
-  summary.p99_us = PercentileUs(latencies_us, 99.0);
-  summary.requests = static_cast<int64_t>(latencies_us.size());
+  FillLatencyPercentiles(&latencies_us, &summary);
   summary.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
   Summaries()["serve.unbatched"] = summary;
@@ -330,6 +332,177 @@ void BM_ServeUnbatchedBaseline(benchmark::State& state) {
   state.counters["rps"] = summary.throughput_rps;
 }
 BENCHMARK(BM_ServeUnbatchedBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Builds a warm streaming scenario: a TickStreamer fed `warmup_ticks`
+/// frames (at least `history`, so the cache holds a published forecast)
+/// over a deterministic frame stream. Returns the frames so callers can
+/// keep ticking.
+struct StreamingScenario {
+  std::shared_ptr<const serve::FrozenModel> model;
+  std::unique_ptr<serve::ForecastCache> cache;
+  std::unique_ptr<serve::TickStreamer> streamer;
+  std::vector<tensor::Tensor> frames;
+  tensor::Tensor tod;
+};
+
+StreamingScenario MakeStreamingScenario(int64_t total_ticks,
+                                        int64_t warmup_ticks,
+                                        serve::TickStreamerOptions options) {
+  const core::SagdfnConfig config = BenchConfig();
+  StreamingScenario s;
+  s.model = SharedModel();
+  s.cache = std::make_unique<serve::ForecastCache>();
+  s.streamer = std::make_unique<serve::TickStreamer>(s.model, s.cache.get(),
+                                                     options);
+  utils::Rng rng(41);
+  for (int64_t i = 0; i < total_ticks; ++i) {
+    s.frames.push_back(tensor::Tensor::Normal(
+        tensor::Shape({config.num_nodes, 2}), rng));
+  }
+  s.tod = tensor::Tensor::Uniform(tensor::Shape({config.horizon}), rng, 0.0f,
+                                  1.0f);
+  for (int64_t i = 0; i < warmup_ticks; ++i) {
+    s.streamer->OnTick(s.frames[i], s.tod);
+  }
+  return s;
+}
+
+/// The production read path: ≥1k concurrent reader threads hammering
+/// one scenario's lock-free forecast cache while a single writer keeps
+/// ticking. Every read's latency is timed around ForecastCache::Read()
+/// alone; the cache is warm before the readers start, so the sample is
+/// the cache-HIT latency distribution (the acceptance bar: hit p99
+/// within 5x of the unbatched single-request p50). Reader count is
+/// overridable with --readers.
+void BM_ServeCachedReads(benchmark::State& state) {
+  const int64_t readers = g_readers > 0 ? g_readers : state.range(0);
+  const int64_t reads_per_reader = 32;
+  const core::SagdfnConfig config = BenchConfig();
+  StreamingScenario scenario = MakeStreamingScenario(
+      /*total_ticks=*/config.history + 64, /*warmup_ticks=*/config.history,
+      serve::TickStreamerOptions{});
+
+  std::vector<double> latencies_us;
+  int64_t stale_reads = 0;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_reader(readers);
+    std::atomic<bool> stop_writer{false};
+    const auto wall_start = std::chrono::steady_clock::now();
+    // One writer advances the tick loop (incremental encoder) while the
+    // readers run, exactly the production cadence.
+    std::thread writer([&] {
+      int64_t next = config.history;
+      while (!stop_writer.load(std::memory_order_relaxed)) {
+        scenario.streamer->OnTick(
+            scenario.frames[next % scenario.frames.size()], scenario.tod);
+        ++next;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    std::atomic<int64_t> misses{0};
+    for (int64_t r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        per_reader[r].reserve(reads_per_reader);
+        for (int64_t i = 0; i < reads_per_reader; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          std::shared_ptr<const serve::TickForecast> f =
+              scenario.cache->Read();
+          const auto end = std::chrono::steady_clock::now();
+          if (f == nullptr) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          benchmark::DoNotOptimize(f->prediction.data());
+          per_reader[r].push_back(
+              std::chrono::duration_cast<
+                  std::chrono::duration<double, std::micro>>(end - start)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    stop_writer.store(true, std::memory_order_relaxed);
+    writer.join();
+    wall_s += std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+    for (auto& sample : per_reader) {
+      latencies_us.insert(latencies_us.end(), sample.begin(), sample.end());
+    }
+    stale_reads += misses.load();
+  }
+  ScenarioSummary summary;
+  FillLatencyPercentiles(&latencies_us, &summary);
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  const serve::ForecastCache::Stats cache_stats = scenario.cache->stats();
+  Summaries()["serve.cached_reads.r" + std::to_string(readers)] = summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+  state.counters["hits"] = static_cast<double>(cache_stats.hits);
+  state.counters["misses"] =
+      static_cast<double>(cache_stats.reads - cache_stats.hits);
+  state.counters["stale_reads"] = static_cast<double>(stale_reads);
+}
+BENCHMARK(BM_ServeCachedReads)
+    ->ArgNames({"readers"})
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+/// Writer-side tick cost: p50/p99 of one OnTick through the incremental
+/// encoder (steady state) vs. through a forced full re-encode every
+/// tick. The gap is what carrying the GRU hidden state buys per tick.
+void BM_ServeTickAdvance(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const core::SagdfnConfig config = BenchConfig();
+  serve::TickStreamerOptions options;
+  options.full_reencode_every = incremental ? 0 : 1;
+  const int64_t ticks = 48;
+  StreamingScenario scenario = MakeStreamingScenario(
+      /*total_ticks=*/config.history + ticks,
+      /*warmup_ticks=*/config.history, options);
+
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  int64_t next = config.history;
+  for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < ticks; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      scenario.streamer->OnTick(
+          scenario.frames[next % scenario.frames.size()], scenario.tod);
+      ++next;
+      latencies_us.push_back(
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    wall_s += std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  }
+  ScenarioSummary summary;
+  FillLatencyPercentiles(&latencies_us, &summary);
+  summary.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(summary.requests) / wall_s : 0.0;
+  Summaries()[incremental ? "serve.tick.incremental" : "serve.tick.full"] =
+      summary;
+  state.counters["p50_us"] = summary.p50_us;
+  state.counters["p99_us"] = summary.p99_us;
+  state.counters["rps"] = summary.throughput_rps;
+}
+BENCHMARK(BM_ServeTickAdvance)
+    ->ArgNames({"incremental"})
+    ->Arg(1)
+    ->Arg(0)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
@@ -372,6 +545,8 @@ int main(int argc, char** argv) {
       sagdfn::g_max_wait_us = std::stoll(arg.substr(14));
     } else if (arg.rfind("--max_batch=", 0) == 0) {
       sagdfn::g_max_batch = std::stoll(arg.substr(12));
+    } else if (arg.rfind("--readers=", 0) == 0) {
+      sagdfn::g_readers = std::stoll(arg.substr(10));
     } else {
       argv[kept++] = argv[i];
     }

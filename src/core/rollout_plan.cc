@@ -33,15 +33,19 @@ constexpr int64_t kSegmentGrainFlops = 1 << 16;
 }  // namespace
 
 RolloutPlan::RolloutPlan(const SagdfnModel& model,
-                         const AdjacencySnapshot& snapshot, int64_t batch) {
+                         const AdjacencySnapshot& snapshot, int64_t batch,
+                         PlanKind kind) {
   const SagdfnConfig& cfg = model.config();
   SAGDFN_CHECK_GT(batch, 0);
+  kind_ = kind;
   batch_ = batch;
   n_ = cfg.num_nodes;
   c_ = cfg.input_dim;
   hd_ = cfg.hidden_dim;
   layers_ = cfg.num_layers;
-  history_ = cfg.history;
+  // An incremental plan encodes exactly one new frame per replay; its
+  // hidden state comes from the previous tick instead of a zero init.
+  history_ = kind == PlanKind::kIncremental ? 1 : cfg.history;
   horizon_ = cfg.horizon;
   SAGDFN_CHECK_EQ(snapshot.a_s.dim(0), n_);
   SAGDFN_CHECK_EQ(snapshot.a_s.dim(1),
@@ -273,20 +277,48 @@ RolloutPlan::RolloutPlan(const SagdfnModel& model,
              });
   };
 
-  emit_row("init_h", layers * hd,
-           [=](const RunCtx& ctx, int64_t r0, int64_t r1) {
-             for (int64_t l = 0; l < layers; ++l) {
-               std::memset(ctx.slab + off_h + l * rows * hd + r0 * hd, 0,
-                           sizeof(float) * (r1 - r0) * hd);
-             }
-           });
+  if (kind == PlanKind::kIncremental) {
+    // Resume point: import the previous tick's exported encoder state
+    // byte-for-byte into the slab's hidden region. Row-local, so it fuses
+    // into the first segment like init_h does.
+    emit_row("load_h", layers * hd,
+             [=](const RunCtx& ctx, int64_t r0, int64_t r1) {
+               for (int64_t l = 0; l < layers; ++l) {
+                 std::memcpy(ctx.slab + off_h + l * rows * hd + r0 * hd,
+                             ctx.h_in + l * rows * hd + r0 * hd,
+                             sizeof(float) * (r1 - r0) * hd);
+               }
+             });
+  } else {
+    emit_row("init_h", layers * hd,
+             [=](const RunCtx& ctx, int64_t r0, int64_t r1) {
+               for (int64_t l = 0; l < layers; ++l) {
+                 std::memset(ctx.slab + off_h + l * rows * hd + r0 * hd, 0,
+                             sizeof(float) * (r1 - r0) * hd);
+               }
+             });
+  }
 
-  for (int64_t t = 0; t < history; ++t) {
+  const int64_t encode_steps = history_;
+  for (int64_t t = 0; t < encode_steps; ++t) {
     const std::string step = "enc.t" + std::to_string(t);
     for (int64_t l = 0; l < layers; ++l) {
       emit_cell(step, l, l == 0 ? Src::kHistory : Src::kHiddenBelow, t);
     }
   }
+
+  // Encoder-prefix resume point: export the post-encoder hidden state
+  // before the decoder mutates it. Skipped per call when ctx.h_out is
+  // null; row-local, so it rides in whatever segment is pending.
+  emit_row("save_h", layers * hd,
+           [=](const RunCtx& ctx, int64_t r0, int64_t r1) {
+             if (ctx.h_out == nullptr) return;
+             for (int64_t l = 0; l < layers; ++l) {
+               std::memcpy(ctx.h_out + l * rows * hd + r0 * hd,
+                           ctx.slab + off_h + l * rows * hd + r0 * hd,
+                           sizeof(float) * (r1 - r0) * hd);
+             }
+           });
 
   const nn::Linear& proj = model.output_projection();
   const float* wp = pin(proj.weight().value());
@@ -345,12 +377,25 @@ RolloutPlan::RolloutPlan(const SagdfnModel& model,
   flush();
 
   // Dry run on zero inputs: validates the whole stream end to end and
-  // warms the constructing thread's arena to the slab size.
-  Run(Tensor{Shape({batch_, history_, n_, c_})},
-      Tensor{Shape({batch_, horizon_})});
+  // warms the constructing thread's arena to the slab size. Incremental
+  // plans resume from a zero state (and exercise the export path).
+  if (kind_ == PlanKind::kIncremental) {
+    Tensor state{Shape({state_floats()})};
+    Run(Tensor{Shape({batch_, history_, n_, c_})},
+        Tensor{Shape({batch_, horizon_})}, &state, &state);
+  } else {
+    Run(Tensor{Shape({batch_, history_, n_, c_})},
+        Tensor{Shape({batch_, horizon_})});
+  }
 }
 
 Tensor RolloutPlan::Run(const Tensor& x, const Tensor& future_tod) const {
+  SAGDFN_CHECK(kind_ == PlanKind::kFull);
+  return Run(x, future_tod, /*h_in=*/nullptr, /*h_out=*/nullptr);
+}
+
+Tensor RolloutPlan::Run(const Tensor& x, const Tensor& future_tod,
+                        const Tensor* h_in, Tensor* h_out) const {
   SAGDFN_CHECK_EQ(x.ndim(), 4);
   SAGDFN_CHECK_EQ(x.dim(0), batch_);
   SAGDFN_CHECK_EQ(x.dim(1), history_);
@@ -359,6 +404,15 @@ Tensor RolloutPlan::Run(const Tensor& x, const Tensor& future_tod) const {
   SAGDFN_CHECK_EQ(future_tod.ndim(), 2);
   SAGDFN_CHECK_EQ(future_tod.dim(0), batch_);
   SAGDFN_CHECK_EQ(future_tod.dim(1), horizon_);
+  if (kind_ == PlanKind::kIncremental) {
+    SAGDFN_CHECK(h_in != nullptr);
+    SAGDFN_CHECK_EQ(h_in->size(), state_floats());
+  } else {
+    SAGDFN_CHECK(h_in == nullptr);
+  }
+  if (h_out != nullptr) {
+    SAGDFN_CHECK_EQ(h_out->size(), state_floats());
+  }
 
   Tensor out{Shape({batch_, horizon_, n_})};
   ScratchArena& arena = ScratchArena::ThreadLocal();
@@ -368,6 +422,8 @@ Tensor RolloutPlan::Run(const Tensor& x, const Tensor& future_tod) const {
   ctx.ft = future_tod.data();
   ctx.out = out.data();
   ctx.slab = arena.AllocArray<float>(slab_floats_);
+  ctx.h_in = h_in != nullptr ? h_in->data() : nullptr;
+  ctx.h_out = h_out != nullptr ? h_out->data() : nullptr;
   for (const Instr& ins : instrs_) ins.fn(ctx);
   return out;
 }

@@ -11,6 +11,23 @@
 
 namespace sagdfn::core {
 
+/// Which rollout a plan compiles.
+///
+///   kFull        — the classic window rollout: zero-initialize the GRU
+///                  hidden state, encode `history` frames, decode
+///                  `horizon` steps. Optionally exports the post-encoder
+///                  hidden state (the encoder-prefix resume point).
+///   kIncremental — the streaming tick rollout: resume from an imported
+///                  hidden state, encode exactly ONE new frame, decode
+///                  `horizon` steps. A sliding window shares h-1 of its h
+///                  encoder steps with the previous tick, so a tick costs
+///                  O(1) encoder work instead of O(h). Chaining
+///                  incremental ticks from a kFull run's exported state
+///                  is bit-identical to re-encoding the whole accumulated
+///                  frame sequence eagerly (same kernels, same per-row
+///                  chains, the carried state is a byte copy of the slab).
+enum class PlanKind { kFull, kIncremental };
+
 /// Precompiled eval-mode execution plan for the SAGDFN encoder/decoder
 /// rollout.
 ///
@@ -49,15 +66,36 @@ namespace sagdfn::core {
 class RolloutPlan {
  public:
   /// Builds the instruction stream for `batch`-sized requests against the
-  /// frozen `snapshot`, then dry-runs it once on zero inputs.
+  /// frozen `snapshot`, then dry-runs it once on zero inputs (and, for
+  /// kIncremental, a zero imported state).
   RolloutPlan(const SagdfnModel& model, const AdjacencySnapshot& snapshot,
-              int64_t batch);
+              int64_t batch, PlanKind kind = PlanKind::kFull);
 
-  /// Replays the plan: `x` [batch, history, N, C], `future_tod`
+  /// Replays a kFull plan: `x` [batch, history, N, C], `future_tod`
   /// [batch, horizon]; returns scaled predictions [batch, horizon, N],
   /// bit-identical to SagdfnModel::Predict on the same inputs.
   tensor::Tensor Run(const tensor::Tensor& x,
                      const tensor::Tensor& future_tod) const;
+
+  /// Replays with encoder-state I/O — the streaming tick entry point.
+  /// `x` is [batch, encoded_steps(), N, C] (one frame for kIncremental).
+  /// `h_in` must be a tensor of state_floats() floats for kIncremental
+  /// (the previous tick's exported state) and null for kFull; `h_out`,
+  /// when non-null, receives the post-encoder hidden state — the resume
+  /// point the NEXT tick's kIncremental replay imports. `h_in` and
+  /// `h_out` may alias: every state row is consumed before it is
+  /// rewritten. The decoder never touches the exported copy.
+  tensor::Tensor Run(const tensor::Tensor& x,
+                     const tensor::Tensor& future_tod,
+                     const tensor::Tensor* h_in, tensor::Tensor* h_out) const;
+
+  PlanKind kind() const { return kind_; }
+  /// Encoder steps one replay consumes: `history` for kFull, 1 for
+  /// kIncremental.
+  int64_t encoded_steps() const { return history_; }
+  /// Floats in the carried encoder state: layers * batch * N * hidden.
+  /// Layout matches the slab's hidden region (layer-major, then row).
+  int64_t state_floats() const { return layers_ * batch_ * n_ * hd_; }
 
   int64_t batch() const { return batch_; }
   int64_t num_instructions() const {
@@ -71,16 +109,19 @@ class RolloutPlan {
  private:
   /// Per-call state handed to every instruction.
   struct RunCtx {
-    const float* x;    // [batch, history, N, C]
+    const float* x;    // [batch, encoded_steps, N, C]
     const float* ft;   // [batch, horizon]
     float* out;        // [batch, horizon, N]
     float* slab;       // scratch_bytes() / 4 floats of arena scratch
+    const float* h_in = nullptr;  // imported encoder state (kIncremental)
+    float* h_out = nullptr;       // exported resume point (optional)
   };
   struct Instr {
     std::string label;
     std::function<void(const RunCtx&)> fn;
   };
 
+  PlanKind kind_ = PlanKind::kFull;
   int64_t batch_ = 0;
   int64_t n_ = 0;        // nodes
   int64_t c_ = 0;        // input channels

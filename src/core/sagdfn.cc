@@ -160,6 +160,10 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
                                   int64_t iteration,
                                   const tensor::Tensor* teacher,
                                   double teacher_prob) {
+  // Training windows are exactly `history` frames; only the inference
+  // path (Predict) accepts longer accumulated windows.
+  SAGDFN_CHECK_EQ(x.ndim(), 4);
+  SAGDFN_CHECK_EQ(x.dim(1), config_.history);
   MaybeResample(iteration);
   ag::Variable a_s = Adjacency();
   // (D + I)^{-1} depends only on a_s: compute once for the whole
@@ -182,7 +186,11 @@ ag::Variable SagdfnModel::Rollout(const ag::Variable& a_s,
   const int64_t h = x.dim(1);
   const int64_t n = x.dim(2);
   const int64_t c = x.dim(3);
-  SAGDFN_CHECK_EQ(h, config_.history);
+  // Training rollouts (via Forward, which checks) consume exactly
+  // `history` frames. Inference (Predict) may pass a longer accumulated
+  // window: the streaming differential tests re-encode every frame
+  // received so far as the eager reference for incremental-tick replay.
+  SAGDFN_CHECK_GE(h, 1);
   SAGDFN_CHECK_EQ(n, config_.num_nodes);
   SAGDFN_CHECK_EQ(c, config_.input_dim);
   const int64_t f = config_.horizon;

@@ -167,6 +167,8 @@ utils::Status InferenceEngine::SwapModel(
   if (model == nullptr) {
     return utils::Status::InvalidArgument("SwapModel: model is null");
   }
+  std::shared_ptr<const FrozenModel> installed = model;
+  std::shared_ptr<const SwapObserver> swap_observer;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!RequestCompatible(model_->config(), model->config())) {
@@ -179,10 +181,14 @@ utils::Status InferenceEngine::SwapModel(
     model_ = std::move(model);
     ++stats_.swaps;
     if (kind == SwapKind::kRollback) ++stats_.rollbacks;
+    swap_observer = swap_observer_;
   }
   obs::Telemetry& telemetry = obs::Telemetry::Global();
   telemetry.AddCounter("serve.swaps");
   if (kind == SwapKind::kRollback) telemetry.AddCounter("serve.rollbacks");
+  // Outside the lock: the observer may take its own locks (the forecast
+  // cache does) and must not deadlock against Submit/RunBatch.
+  if (swap_observer != nullptr) (*swap_observer)(installed, kind);
   return utils::Status::Ok();
 }
 
@@ -197,6 +203,14 @@ void InferenceEngine::SetBatchObserver(BatchObserver observer) {
                     : std::shared_ptr<const BatchObserver>();
   std::lock_guard<std::mutex> lock(mu_);
   observer_ = std::move(shared);
+}
+
+void InferenceEngine::SetSwapObserver(SwapObserver observer) {
+  auto shared = observer
+                    ? std::make_shared<const SwapObserver>(std::move(observer))
+                    : std::shared_ptr<const SwapObserver>();
+  std::lock_guard<std::mutex> lock(mu_);
+  swap_observer_ = std::move(shared);
 }
 
 void InferenceEngine::WorkerLoop() {

@@ -103,6 +103,16 @@ struct BatchReport {
 /// exactly that).
 using BatchObserver = std::function<void(const BatchReport&)>;
 
+/// Called after every successful SwapModel, from the swapping thread,
+/// AFTER the new snapshot took effect — any batch assembled once the
+/// callback fires runs on `model`. Streaming caches hook this to drop
+/// forecasts computed on the old snapshot immediately instead of at
+/// their next tick (see serve::TickStreamer::BindEngine). Must be cheap
+/// and must not call back into SwapModel (it runs outside the engine
+/// lock, but a re-entrant swap would recurse into the observer).
+using SwapObserver = std::function<void(
+    const std::shared_ptr<const FrozenModel>& model, SwapKind kind)>;
+
 /// Concurrent batched inference engine over a hot-swappable FrozenModel.
 ///
 /// Requests enter a submission queue; worker threads assemble dynamic
@@ -185,6 +195,11 @@ class InferenceEngine {
   /// this returns.
   void SetBatchObserver(BatchObserver observer);
 
+  /// Installs (or clears) the swap observer, invoked after every
+  /// successful SwapModel. Takes effect for swaps that start after this
+  /// returns.
+  void SetSwapObserver(SwapObserver observer);
+
   /// Stops intake, then drains or rejects the queue per
   /// EngineOptions::drain_on_shutdown and joins the workers. Idempotent;
   /// after it returns no future is pending.
@@ -236,6 +251,9 @@ class InferenceEngine {
   /// Guarded by mu_; shared_ptr-wrapped so RunBatch can pin the observer
   /// alongside the model without holding the lock across the callback.
   std::shared_ptr<const BatchObserver> observer_;
+
+  /// Guarded by mu_; pinned and invoked outside the lock by SwapModel.
+  std::shared_ptr<const SwapObserver> swap_observer_;
 
   /// Serializes Shutdown() callers (never taken by workers); `joined_` is
   /// guarded by it.

@@ -3,29 +3,35 @@
 #include <utility>
 
 #include "nn/serialization.h"
+#include "obs/telemetry.h"
 #include "utils/check.h"
 
 namespace sagdfn::serve {
 
 FrozenModel::FrozenModel(std::unique_ptr<core::SagdfnModel> model,
-                         core::AdjacencySnapshot snapshot)
-    : model_(std::move(model)), snapshot_(std::move(snapshot)) {}
+                         core::AdjacencySnapshot snapshot,
+                         int64_t plan_capacity)
+    : model_(std::move(model)),
+      snapshot_(std::move(snapshot)),
+      plan_capacity_(plan_capacity) {}
 
 std::unique_ptr<FrozenModel> FrozenModel::Freeze(
-    std::unique_ptr<core::SagdfnModel> model) {
+    std::unique_ptr<core::SagdfnModel> model, int64_t plan_cache_capacity) {
   SAGDFN_CHECK(model != nullptr);
+  SAGDFN_CHECK_GT(plan_cache_capacity, 0);
   model->SetTraining(false);
   core::AdjacencySnapshot snapshot = model->Snapshot();
-  return std::unique_ptr<FrozenModel>(
-      new FrozenModel(std::move(model), std::move(snapshot)));
+  return std::unique_ptr<FrozenModel>(new FrozenModel(
+      std::move(model), std::move(snapshot), plan_cache_capacity));
 }
 
 utils::Status FrozenModel::Load(const core::SagdfnConfig& config,
                                 const std::string& checkpoint_path,
-                                std::unique_ptr<FrozenModel>* out) {
+                                std::unique_ptr<FrozenModel>* out,
+                                int64_t plan_cache_capacity) {
   auto model = std::make_unique<core::SagdfnModel>(config);
   SAGDFN_RETURN_IF_ERROR(nn::LoadModule(model.get(), checkpoint_path));
-  *out = Freeze(std::move(model));
+  *out = Freeze(std::move(model), plan_cache_capacity);
   return utils::Status::Ok();
 }
 
@@ -41,18 +47,46 @@ tensor::Tensor FrozenModel::PredictEager(
 
 std::shared_ptr<const core::RolloutPlan> FrozenModel::PlanFor(
     int64_t batch) const {
+  return PlanFor(batch, core::PlanKind::kFull);
+}
+
+std::shared_ptr<const core::RolloutPlan> FrozenModel::PlanFor(
+    int64_t batch, core::PlanKind kind) const {
   // Plan construction (instruction build + dry run) happens under the
-  // lock: concurrent first requests for one batch size build it once,
+  // lock: concurrent first requests for one (batch, kind) build it once,
   // and replays through already-cached plans only pay the map lookup.
   std::lock_guard<std::mutex> lock(plans_mu_);
-  auto it = plans_.find(batch);
-  if (it == plans_.end()) {
-    it = plans_
-             .emplace(batch, std::make_shared<const core::RolloutPlan>(
-                                 *model_, snapshot_, batch))
-             .first;
+  const PlanKey key{batch, kind};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return it->second.first;
   }
-  return it->second;
+  auto plan =
+      std::make_shared<const core::RolloutPlan>(*model_, snapshot_, batch,
+                                                kind);
+  lru_.push_front(key);
+  plans_.emplace(key, std::make_pair(plan, lru_.begin()));
+  while (static_cast<int64_t>(plans_.size()) > plan_capacity_) {
+    // Evict the least-recently-used entry. Replays already holding the
+    // shared_ptr keep the evicted plan alive until they finish.
+    plans_.erase(lru_.back());
+    lru_.pop_back();
+    ++plan_evictions_;
+  }
+  obs::Telemetry::Global().SetGauge("serve.plan_cache_size",
+                                    static_cast<double>(plans_.size()));
+  return plan;
+}
+
+int64_t FrozenModel::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return static_cast<int64_t>(plans_.size());
+}
+
+int64_t FrozenModel::plan_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plan_evictions_;
 }
 
 }  // namespace sagdfn::serve

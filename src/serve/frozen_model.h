@@ -2,10 +2,12 @@
 #define SAGDFN_SERVE_FROZEN_MODEL_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "core/rollout_plan.h"
 #include "core/sagdfn.h"
@@ -20,10 +22,20 @@ namespace sagdfn::serve {
 /// FrozenModel is shared read-only by every InferenceEngine worker.
 class FrozenModel {
  public:
+  /// Default bound on cached rollout plans (see plan_cache_capacity).
+  static constexpr int64_t kDefaultPlanCacheCapacity = 16;
+
   /// Takes ownership of an already-built (trained or restored) model,
   /// switches it to eval mode, and freezes the adjacency.
+  /// `plan_cache_capacity` bounds the per-model rollout-plan cache:
+  /// plans (and their pre-sized arena slabs) are built per distinct
+  /// (batch size, plan kind), and a client sweeping batch sizes must
+  /// not grow the map without limit. Least-recently-used entries are
+  /// evicted past the cap (in-flight replays keep their plan alive
+  /// through the returned shared_ptr).
   static std::unique_ptr<FrozenModel> Freeze(
-      std::unique_ptr<core::SagdfnModel> model);
+      std::unique_ptr<core::SagdfnModel> model,
+      int64_t plan_cache_capacity = kDefaultPlanCacheCapacity);
 
   /// Builds a model from `config`, restores it from a v2 checkpoint
   /// written by nn::SaveModule (parameters, buffers, and the trained
@@ -31,7 +43,9 @@ class FrozenModel {
   /// partially populated model — on any checkpoint mismatch.
   static utils::Status Load(const core::SagdfnConfig& config,
                             const std::string& checkpoint_path,
-                            std::unique_ptr<FrozenModel>* out);
+                            std::unique_ptr<FrozenModel>* out,
+                            int64_t plan_cache_capacity =
+                                kDefaultPlanCacheCapacity);
 
   /// Thread-safe batched inference: `x` [B, h, N, C], `future_tod`
   /// [B, f] -> scaled predictions [B, f, N]. Per batch row the result is
@@ -47,26 +61,50 @@ class FrozenModel {
   tensor::Tensor PredictEager(const tensor::Tensor& x,
                               const tensor::Tensor& future_tod) const;
 
-  /// The cached execution plan for `batch`-sized requests, building it if
-  /// this batch size has not been seen yet. Thread-safe; the returned
-  /// plan is immutable and replayable concurrently.
+  /// The cached full-rollout execution plan for `batch`-sized requests,
+  /// building it if this batch size has not been seen yet. Thread-safe;
+  /// the returned plan is immutable and replayable concurrently.
   std::shared_ptr<const core::RolloutPlan> PlanFor(int64_t batch) const;
+
+  /// Same cache, explicit plan kind: kIncremental plans power the
+  /// streaming tick path (see serve::TickStreamer). Each (batch, kind)
+  /// pair is one cache entry.
+  std::shared_ptr<const core::RolloutPlan> PlanFor(
+      int64_t batch, core::PlanKind kind) const;
+
+  /// Current number of cached plans (≤ plan_cache_capacity()). Also
+  /// exported as the `serve.plan_cache_size` telemetry gauge on every
+  /// insert/evict.
+  int64_t plan_cache_size() const;
+  int64_t plan_cache_capacity() const { return plan_capacity_; }
+  /// Plans evicted over this model's lifetime (LRU past the cap).
+  int64_t plan_cache_evictions() const;
 
   const core::SagdfnModel& model() const { return *model_; }
   const core::AdjacencySnapshot& snapshot() const { return snapshot_; }
   const core::SagdfnConfig& config() const { return model_->config(); }
 
  private:
+  using PlanKey = std::pair<int64_t, core::PlanKind>;
+
   FrozenModel(std::unique_ptr<core::SagdfnModel> model,
-              core::AdjacencySnapshot snapshot);
+              core::AdjacencySnapshot snapshot, int64_t plan_capacity);
 
   std::unique_ptr<core::SagdfnModel> model_;
   core::AdjacencySnapshot snapshot_;
-  /// Plans are shape-specific; serving sees a handful of batch sizes
-  /// (bounded by the engine's max_batch), so a small map per model is
-  /// enough. Guarded by plans_mu_.
+  const int64_t plan_capacity_;
+  /// Bounded LRU over (batch, kind) → plan. Serving sees a handful of
+  /// batch sizes (bounded by the engine's max_batch); the cap defends
+  /// against unbounded sweeps. lru_ is most-recent-first; each map
+  /// value carries its list position for O(log n) touch. Guarded by
+  /// plans_mu_.
   mutable std::mutex plans_mu_;
-  mutable std::map<int64_t, std::shared_ptr<const core::RolloutPlan>> plans_;
+  mutable std::list<PlanKey> lru_;
+  mutable std::map<PlanKey,
+                   std::pair<std::shared_ptr<const core::RolloutPlan>,
+                             std::list<PlanKey>::iterator>>
+      plans_;
+  mutable int64_t plan_evictions_ = 0;
 };
 
 }  // namespace sagdfn::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -210,7 +211,7 @@ int64_t ModelRegistry::ScanOnce() {
   // One scan at a time; Publish below takes publish_mu_ per candidate so
   // explicit publishes still interleave with a long scan.
   std::lock_guard<std::mutex> scan_lock(scan_mu_);
-  std::vector<std::pair<std::string, std::pair<uint64_t, int64_t>>> found;
+  std::vector<std::pair<std::string, CandidateVersion>> found;
   {
     if (options_.watch_dir.empty()) return 0;
     std::error_code ec;
@@ -222,12 +223,16 @@ int64_t ModelRegistry::ScanOnce() {
       if (name.size() < 5 || name.substr(name.size() - 5) != ".ckpt") {
         continue;
       }
-      const uint64_t size = entry.file_size(ec);
+      CandidateVersion version;
+      version.size = entry.file_size(ec);
       if (ec) continue;
-      const int64_t mtime =
-          entry.last_write_time(ec).time_since_epoch().count();
+      version.mtime = entry.last_write_time(ec).time_since_epoch().count();
       if (ec) continue;
-      found.emplace_back(name, std::make_pair(size, mtime));
+      // Content fingerprint: (size, mtime) alone misses a same-size
+      // rewrite landing within the mtime granularity. Only computed per
+      // scan for files that survive the cheap checks above.
+      version.fingerprint = Fingerprint(name);
+      found.emplace_back(name, version);
     }
   }
   std::sort(found.begin(), found.end());
@@ -358,13 +363,54 @@ void ModelRegistry::RollbackLocked(const std::string& reason) {
   EmitDecision("registry.rollback", "", reason);
 }
 
+uint64_t ModelRegistry::Fingerprint(const std::string& path) {
+  // FNV-1a over the file size plus the first and last 4 KiB of content:
+  // cheap (two reads regardless of checkpoint size) and sensitive to
+  // both the header (format/meta records live up front) and the payload
+  // tail (trained weights land late in the file).
+  constexpr size_t kBlock = 4096;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&hash](const unsigned char* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      hash ^= data[i];
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  if (file_size < 0) {
+    std::fclose(f);
+    return 0;
+  }
+  const auto usize = static_cast<uint64_t>(file_size);
+  mix(reinterpret_cast<const unsigned char*>(&usize), sizeof(usize));
+  unsigned char block[kBlock];
+  std::fseek(f, 0, SEEK_SET);
+  mix(block, std::fread(block, 1, kBlock, f));
+  if (usize > kBlock) {
+    std::fseek(f, -static_cast<long>(std::min<uint64_t>(kBlock, usize)),
+               SEEK_END);
+    mix(block, std::fread(block, 1, kBlock, f));
+  }
+  std::fclose(f);
+  return hash;
+}
+
 double ModelRegistry::P99Us(const std::deque<double>& samples_us) {
   if (samples_us.empty()) return 0.0;
   std::vector<double> sorted(samples_us.begin(), samples_us.end());
   std::sort(sorted.begin(), sorted.end());
-  const auto index = static_cast<size_t>(
-      0.99 * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
+  // Unbiased linear interpolation at rank 0.99 * (n-1) — the same
+  // estimator as bench::PercentileSorted. The former +0.5 index bias
+  // returned the sample max for small probation windows, making the
+  // relative-p99 health probe trip on a single outlier batch.
+  const double rank = 0.99 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 RegistryStats ModelRegistry::stats() const {

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "serve/engine.h"
@@ -165,6 +166,27 @@ class ModelRegistry {
 
   static double P99Us(const std::deque<double>& samples_us);
 
+  /// Identity of one candidate file version for watch-dir dedup.
+  /// (size, mtime) alone misses a candidate rewritten with identical
+  /// size within the filesystem's mtime granularity — exactly what a
+  /// fixed-architecture re-publish produces — so the content
+  /// fingerprint (FNV-1a over the size plus the first and last 4 KiB
+  /// of payload) is part of the key.
+  struct CandidateVersion {
+    uint64_t size = 0;
+    int64_t mtime = 0;
+    uint64_t fingerprint = 0;
+    bool operator==(const CandidateVersion&) const = default;
+    bool operator<(const CandidateVersion& o) const {
+      return std::tie(size, mtime, fingerprint) <
+             std::tie(o.size, o.mtime, o.fingerprint);
+    }
+  };
+
+  /// The content fingerprint of `path` (0 on read failure — treated as
+  /// a distinct version so an unreadable-then-fixed file is retried).
+  static uint64_t Fingerprint(const std::string& path);
+
   InferenceEngine* engine_;
   RegistryOptions options_;
 
@@ -192,9 +214,9 @@ class ModelRegistry {
   /// baseline for the relative p99 probe. Bounded ring.
   std::deque<double> live_compute_us_;
 
-  /// Watched-directory bookkeeping: path -> (size, mtime ticks) of the
-  /// last version processed (accepted or rejected).
-  std::map<std::string, std::pair<uint64_t, int64_t>> processed_;
+  /// Watched-directory bookkeeping: path -> (size, mtime ticks, content
+  /// fingerprint) of the last version processed (accepted or rejected).
+  std::map<std::string, CandidateVersion> processed_;
 
   // Watcher thread machinery.
   std::mutex watch_mu_;

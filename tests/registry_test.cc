@@ -721,5 +721,46 @@ TEST(RegistryTest, WatchedDirectoryPublishesNewCandidatesOnce) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(RegistryTest, WatchedDirectoryDetectsSameSizeSameMtimeRewrite) {
+  // Regression: the dedup key used to be (size, mtime). A candidate
+  // rewritten with identical byte size inside the filesystem's mtime
+  // granularity — exactly what re-publishing a fixed-architecture
+  // checkpoint produces — was silently skipped. The content fingerprint
+  // in CandidateVersion must catch it.
+  const core::SagdfnConfig config = TinyConfig();
+  const std::string dir = TempPath("registry_watch_rewrite");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto live = std::shared_ptr<const FrozenModel>(
+      FrozenModel::Freeze(std::make_unique<core::SagdfnModel>(config)));
+  InferenceEngine engine(live, EngineOptions{});
+  RegistryOptions options;
+  options.watch_dir = dir;
+  ModelRegistry registry(&engine, options);
+
+  const std::string path = dir + "/candidate.ckpt";
+  SaveCandidate(config, 151, path);
+  const auto size_first = std::filesystem::file_size(path);
+  const auto mtime_first = std::filesystem::last_write_time(path);
+  EXPECT_EQ(registry.ScanOnce(), 1);
+  EXPECT_EQ(registry.stats().published, 1);
+
+  // Rewrite with a different seed: same architecture, same byte size,
+  // different weights. Pin the mtime back so (size, mtime) is identical
+  // to the processed version — only the content differs.
+  SaveCandidate(config, 152, path);
+  ASSERT_EQ(std::filesystem::file_size(path), size_first)
+      << "test premise broken: rewrite changed the file size";
+  std::filesystem::last_write_time(path, mtime_first);
+
+  EXPECT_EQ(registry.ScanOnce(), 1)
+      << "a same-size same-mtime rewrite was not detected";
+  EXPECT_EQ(registry.stats().published, 2);
+  EXPECT_EQ(registry.ScanOnce(), 0)
+      << "the rewritten version must itself be deduplicated";
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace sagdfn::serve

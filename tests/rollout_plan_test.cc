@@ -104,6 +104,102 @@ TEST(RolloutPlanTest, ReplayMatchesEagerWithExtraCovariates) {
   ExpectReplayMatchesEager(config);
 }
 
+TEST(RolloutPlanTest, IncrementalResumeMatchesEagerAccumulatedBytes) {
+  // The streaming carry contract at the plan level: a kFull replay over
+  // the first h frames exports the post-encoder state; chaining
+  // kIncremental replays (one new frame each, state carried through)
+  // must be BIT-identical to eagerly re-encoding the whole accumulated
+  // frame sequence — same kernels, same per-row chains, the carried
+  // state is a byte copy of the hidden slab.
+  const SagdfnConfig config = TinyConfig();
+  auto model = MakeFrozen(config);
+  const int64_t h = config.history;
+  const int64_t extra = 3;
+  const Batch in = MakeBatch(config, 1, 77);  // [1, h, N, C]
+  utils::Rng rng(78);
+  const Tensor stream = Tensor::Normal(
+      Shape({1, extra, config.num_nodes, config.input_dim}), rng);
+
+  auto full = model->PlanFor(1, PlanKind::kFull);
+  auto inc = model->PlanFor(1, PlanKind::kIncremental);
+  EXPECT_EQ(inc->encoded_steps(), 1);
+  EXPECT_EQ(full->encoded_steps(), h);
+  EXPECT_EQ(inc->state_floats(), full->state_floats());
+
+  Tensor state{Shape({full->state_floats()})};
+  const Tensor warm = full->Run(in.x, in.tod, nullptr, &state);
+  EXPECT_TRUE(BytesEqual(warm, model->PredictEager(in.x, in.tod)))
+      << "kFull with state export diverged from eager";
+
+  const int64_t frame_floats = config.num_nodes * config.input_dim;
+  for (int64_t k = 0; k < extra; ++k) {
+    Tensor frame{Shape({1, 1, config.num_nodes, config.input_dim})};
+    std::memcpy(frame.data(), stream.data() + k * frame_floats,
+                sizeof(float) * frame_floats);
+    // h_in and h_out alias: every state row is read before rewritten.
+    const Tensor tick = inc->Run(frame, in.tod, &state, &state);
+
+    // Eager reference: re-encode ALL h + k + 1 frames from zero init.
+    Tensor acc{Shape({1, h + k + 1, config.num_nodes, config.input_dim})};
+    std::memcpy(acc.data(), in.x.data(), sizeof(float) * h * frame_floats);
+    std::memcpy(acc.data() + h * frame_floats, stream.data(),
+                sizeof(float) * (k + 1) * frame_floats);
+    const Tensor eager = model->PredictEager(acc, in.tod);
+    EXPECT_TRUE(BytesEqual(tick, eager))
+        << "incremental tick " << k << " diverged from accumulated eager";
+  }
+}
+
+TEST(RolloutPlanTest, IncrementalPlanRequiresStateIn) {
+  auto model = MakeFrozen(TinyConfig());
+  auto inc = model->PlanFor(1, PlanKind::kIncremental);
+  const SagdfnConfig config = TinyConfig();
+  Tensor frame{Shape({1, 1, config.num_nodes, config.input_dim})};
+  Tensor tod{Shape({1, config.horizon})};
+  EXPECT_DEATH(inc->Run(frame, tod, nullptr, nullptr), "");
+}
+
+TEST(RolloutPlanTest, PlanCacheKeyedByKind) {
+  auto model = MakeFrozen(TinyConfig());
+  auto full = model->PlanFor(2, PlanKind::kFull);
+  auto inc = model->PlanFor(2, PlanKind::kIncremental);
+  EXPECT_NE(full.get(), inc.get());
+  EXPECT_EQ(full->kind(), PlanKind::kFull);
+  EXPECT_EQ(inc->kind(), PlanKind::kIncremental);
+  EXPECT_EQ(model->PlanFor(2, PlanKind::kFull).get(), full.get());
+  EXPECT_EQ(model->PlanFor(2, PlanKind::kIncremental).get(), inc.get());
+  EXPECT_EQ(model->plan_cache_size(), 2);
+}
+
+TEST(RolloutPlanTest, PlanCacheEvictsLeastRecentlyUsed) {
+  auto model = std::shared_ptr<const serve::FrozenModel>(
+      serve::FrozenModel::Freeze(std::make_unique<SagdfnModel>(TinyConfig()),
+                                 /*plan_cache_capacity=*/2));
+  EXPECT_EQ(model->plan_cache_capacity(), 2);
+  auto p1 = model->PlanFor(1);
+  auto p2 = model->PlanFor(2);
+  EXPECT_EQ(model->plan_cache_size(), 2);
+  EXPECT_EQ(model->plan_cache_evictions(), 0);
+
+  // Touch batch 1 so batch 2 is the LRU entry, then insert batch 3.
+  EXPECT_EQ(model->PlanFor(1).get(), p1.get());
+  auto p3 = model->PlanFor(3);
+  EXPECT_EQ(model->plan_cache_size(), 2);
+  EXPECT_EQ(model->plan_cache_evictions(), 1);
+
+  // Batch 1 and 3 survived; batch 2 was evicted and rebuilds fresh.
+  EXPECT_EQ(model->PlanFor(1).get(), p1.get());
+  EXPECT_EQ(model->plan_cache_evictions(), 1);
+  EXPECT_NE(model->PlanFor(2).get(), p2.get());
+  EXPECT_EQ(model->plan_cache_evictions(), 2);
+
+  // The evicted plan stays replayable through the caller's shared_ptr.
+  const SagdfnConfig config = TinyConfig();
+  const Batch in = MakeBatch(config, 2, 99);
+  EXPECT_TRUE(BytesEqual(p2->Run(in.x, in.tod),
+                         model->PredictEager(in.x, in.tod)));
+}
+
 TEST(RolloutPlanTest, PlanIsCachedPerBatchSize) {
   auto model = MakeFrozen(TinyConfig());
   auto p1 = model->PlanFor(3);

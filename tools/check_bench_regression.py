@@ -28,9 +28,15 @@ With --serve-fresh the script instead compares a BENCH_serve_latency.json
 written by bench/bench_serve (per-scenario p50/p99 request latency and
 throughput) against --serve-baseline: it fails if any scenario's p50 or
 p99 latency grew by more than --threshold percent, or its throughput
-dropped by more than --threshold percent. Serve latency is wall-clock
-and queue-time dominated, so CI runs this comparison NON-BLOCKING
-(informational) — a failure there flags a trend to look at, not a gate.
+dropped by more than --threshold percent. It additionally checks — on
+the FRESH run alone, so it holds at any reader count — that every
+serve.cached_reads.* scenario's p99 read latency is within
+--max-cached-read-ratio (default 5) times the serve.unbatched p50: a
+cache hit is one atomic shared_ptr load and must stay in the same
+order of magnitude as a single uncontended request, not drift toward
+recomputation cost. Serve latency is wall-clock and queue-time
+dominated, so CI runs this comparison NON-BLOCKING (informational) — a
+failure there flags a trend to look at, not a gate.
 
 With --rollout-fresh the script compares a BENCH_rollout_fusion.json
 written by bench/bench_rollout (per-batch eager vs plan-replay rollout
@@ -157,6 +163,34 @@ def check_serve_latency(fresh, baseline, threshold_pct):
     return failures
 
 
+def check_cached_read_ratio(fresh, max_ratio):
+    """Fresh-run-only criterion: cached-read p99 vs unbatched p50.
+
+    The lock-free cache's whole point is that a hit costs an atomic
+    load, not a model replay; this bounds the hit path at max_ratio x
+    the single-request p50 regardless of reader count.
+    """
+    failures = []
+    unbatched_p50 = fresh.get("serve.unbatched", {}).get("p50_us", 0.0)
+    cached = {k: v for k, v in fresh.items()
+              if k.startswith("serve.cached_reads.")}
+    if unbatched_p50 <= 0.0 or not cached:
+        print("note: cached-read ratio check skipped (missing "
+              "serve.unbatched p50 or serve.cached_reads.* scenarios)")
+        return failures
+    bound = max_ratio * unbatched_p50
+    for name in sorted(cached):
+        p99 = cached[name].get("p99_us", 0.0)
+        ratio = p99 / unbatched_p50
+        ok = p99 <= bound
+        marker = "ok" if ok else "TOO SLOW"
+        print(f"  {name:28s} p99 {p99:10.1f}us = {ratio:6.2f}x unbatched "
+              f"p50 {unbatched_p50:.1f}us (bound {max_ratio:.1f}x)  {marker}")
+        if not ok:
+            failures.append((f"{name}.cached_read_ratio", ratio))
+    return failures
+
+
 def load_rollout(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -225,6 +259,9 @@ def main():
     parser.add_argument("--serve-baseline",
                         default="bench/baselines/BENCH_serve_latency.json",
                         help="committed baseline serve latency JSON")
+    parser.add_argument("--max-cached-read-ratio", type=float, default=5.0,
+                        help="max tolerated serve.cached_reads.* p99 as a "
+                             "multiple of the fresh serve.unbatched p50")
     parser.add_argument("--rollout-fresh", default=None,
                         help="BENCH_rollout_fusion.json from the run under "
                              "test; selects the rollout fused-vs-eager "
@@ -259,6 +296,10 @@ def main():
         baseline = load_serve_scenarios(args.serve_baseline)
         print(f"== serve latency check (threshold {args.threshold:.0f}%) ==")
         failures = check_serve_latency(fresh, baseline, args.threshold)
+        print(f"== cached-read hit-path check (bound "
+              f"{args.max_cached_read_ratio:.1f}x unbatched p50) ==")
+        failures += check_cached_read_ratio(fresh,
+                                            args.max_cached_read_ratio)
         if failures:
             for name, delta in failures:
                 print(f"FAIL: {name} moved {delta:+.1f}%", file=sys.stderr)

@@ -19,7 +19,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DSAGDFN_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target fault_injection_test serialization_test trainer_test \
-  serve_engine_test rollout_plan_test registry_test
+  serve_engine_test rollout_plan_test registry_test tick_stream_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
@@ -41,6 +41,9 @@ echo "== registry corrupt-candidate fuzz corpus (ASan) =="
 
 echo "== rollout-plan replay (ASan: arena slab reuse, pinned weights) =="
 ctest --test-dir "${BUILD_DIR}" -L plan --output-on-failure
+
+echo "== streaming tick loop (ASan: cache slot churn, carried-state slabs, swap-observer lifetime) =="
+ctest --test-dir "${BUILD_DIR}" -L stream --output-on-failure
 
 echo "== trainer checkpoint/resume suites (ASan) =="
 "${BUILD_DIR}/tests/trainer_test" \

@@ -15,7 +15,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DSAGDFN_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target utils_test tensor_reference_test serve_engine_test \
-  rollout_plan_test registry_test
+  rollout_plan_test registry_test tick_stream_test
 
 # halt_on_error so the first race aborts with a non-zero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -36,5 +36,8 @@ echo "== Rollout-plan replay suite (concurrent plan replay, plan cache) =="
 
 echo "== Hot-swap registry suite (swap-under-load, probation rollback from worker threads) =="
 "${BUILD_DIR}/tests/registry_test"
+
+echo "== Streaming tick loop (lock-free forecast cache: concurrent readers vs tick writer, swap invalidation) =="
+"${BUILD_DIR}/tests/tick_stream_test"
 
 echo "TSan check passed: no data races detected."
