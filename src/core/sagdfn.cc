@@ -173,14 +173,12 @@ ag::Variable SagdfnModel::Forward(const tensor::Tensor& x,
                  teacher_prob, &rng_);
 }
 
-ag::Variable SagdfnModel::Rollout(const ag::Variable& a_s,
-                                  const ag::Variable& inv_deg,
-                                  const std::vector<int64_t>& index_set,
-                                  const tensor::Tensor& x,
-                                  const tensor::Tensor& future_tod,
-                                  const tensor::Tensor* teacher,
-                                  double teacher_prob,
-                                  utils::Rng* sampling_rng) const {
+ag::Variable SagdfnModel::Rollout(
+    const ag::Variable& a_s, const ag::Variable& inv_deg,
+    const std::vector<int64_t>& index_set, const tensor::Tensor& x,
+    const tensor::Tensor& future_tod, const tensor::Tensor* teacher,
+    double teacher_prob, utils::Rng* sampling_rng,
+    const std::shared_ptr<const graph::CsrMatrix>& csr) const {
   SAGDFN_CHECK_EQ(x.ndim(), 4);
   const int64_t b = x.dim(0);
   const int64_t h = x.dim(1);
@@ -215,7 +213,7 @@ ag::Variable SagdfnModel::Rollout(const ag::Variable& a_s,
       for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
         hidden[layer] = cells_[layer]->Forward(a_s, index_set,
                                                layer_input, hidden[layer],
-                                               &inv_deg);
+                                               &inv_deg, csr);
         layer_input = hidden[layer];
       }
     }
@@ -236,7 +234,7 @@ ag::Variable SagdfnModel::Rollout(const ag::Variable& a_s,
     ag::Variable layer_input = dec_input;
     for (int64_t layer = 0; layer < config_.num_layers; ++layer) {
       hidden[layer] = cells_[layer]->Forward(a_s, index_set, layer_input,
-                                             hidden[layer], &inv_deg);
+                                             hidden[layer], &inv_deg, csr);
       layer_input = hidden[layer];
     }
     ag::Variable pred = output_proj_->Forward(ag::Reshape(
@@ -293,6 +291,8 @@ AdjacencySnapshot SagdfnModel::Snapshot() {
   ag::Variable a_s = Adjacency();
   snapshot.a_s = a_s.value();
   snapshot.inv_deg = FastGraphConv::InverseDegree(a_s).value();
+  snapshot.csr = std::make_shared<const graph::CsrMatrix>(
+      graph::CsrFromDense(snapshot.a_s));
   return snapshot;
 }
 
@@ -304,7 +304,8 @@ tensor::Tensor SagdfnModel::Predict(
   ag::NoGradGuard guard;
   return Rollout(ag::Variable(snapshot.a_s), ag::Variable(snapshot.inv_deg),
                  snapshot.index_set, x, future_tod, /*teacher=*/nullptr,
-                 /*teacher_prob=*/0.0, /*sampling_rng=*/nullptr)
+                 /*teacher_prob=*/0.0, /*sampling_rng=*/nullptr,
+                 snapshot.csr)
       .value();
 }
 

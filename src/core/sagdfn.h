@@ -23,6 +23,11 @@ struct AdjacencySnapshot {
   tensor::Tensor a_s;              // [N, M]
   tensor::Tensor inv_deg;          // [N, 1]
   std::vector<int64_t> index_set;  // M node ids (columns of a_s)
+  /// CsrFromDense(a_s), shared with eval rollouts / serving plans so the
+  /// diffusion gather walks nonzeros instead of scanning N x M rows.
+  /// Always set by Snapshot(); may be null in hand-built snapshots, which
+  /// then fall back to the dense slim kernels.
+  std::shared_ptr<const graph::CsrMatrix> csr;
 };
 
 /// Hyper-parameters of the SAGDFN model (paper Section V-A,
@@ -164,7 +169,9 @@ class SagdfnModel : public SeqModel {
                              const tensor::Tensor& future_tod,
                              const tensor::Tensor* teacher,
                              double teacher_prob,
-                             utils::Rng* sampling_rng) const;
+                             utils::Rng* sampling_rng,
+                             const std::shared_ptr<const graph::CsrMatrix>&
+                                 csr = nullptr) const;
 
   SagdfnConfig config_;
   utils::Rng rng_;

@@ -15,6 +15,11 @@ SignificantNeighborSampler::SignificantNeighborSampler(int64_t num_nodes,
   SAGDFN_CHECK_GT(k, 0);
   SAGDFN_CHECK_LE(k, m);
   SAGDFN_CHECK_LE(m, num_nodes);
+}
+
+void SignificantNeighborSampler::EnsureCandidates() const {
+  if (candidates_ready_) return;
+  candidates_ready_ = true;
   candidates_.resize(num_nodes_);
   for (int64_t i = 0; i < num_nodes_; ++i) {
     candidates_[i] = rng_.SampleWithoutReplacement(num_nodes_, m_);
@@ -24,6 +29,7 @@ SignificantNeighborSampler::SignificantNeighborSampler(int64_t num_nodes,
 std::vector<int64_t> SignificantNeighborSampler::Sample(
     const tensor::Tensor& embeddings, bool explore) {
   SAGDFN_SCOPED_TIMER("sns.sample");
+  EnsureCandidates();
   SAGDFN_CHECK_EQ(embeddings.ndim(), 2);
   SAGDFN_CHECK_EQ(embeddings.dim(0), num_nodes_);
   const int64_t d = embeddings.dim(1);
@@ -87,6 +93,7 @@ std::vector<int64_t> SignificantNeighborSampler::Sample(
 }
 
 std::vector<uint64_t> SignificantNeighborSampler::SerializeState() const {
+  EnsureCandidates();
   std::vector<uint64_t> words = rng_.SerializeState();
   words.reserve(words.size() + num_nodes_ * m_);
   for (const auto& row : candidates_) {
@@ -119,6 +126,10 @@ utils::Status SignificantNeighborSampler::DeserializeState(
   rng_.DeserializeState(std::vector<uint64_t>(
       words.begin(), words.begin() + utils::Rng::kStateWords));
   candidates_ = std::move(candidates);
+  // The restored matrix replaces the seed-derived one wholesale; a
+  // pending lazy materialization must not clobber it (and must not
+  // burn draws from the restored rng stream).
+  candidates_ready_ = true;
   return utils::Status::Ok();
 }
 

@@ -45,6 +45,7 @@ class SignificantNeighborSampler {
 
   /// Candidate row i (for tests; size M, distinct ids).
   const std::vector<int64_t>& candidates(int64_t row) const {
+    EnsureCandidates();
     return candidates_[row];
   }
 
@@ -61,11 +62,20 @@ class SignificantNeighborSampler {
   utils::Status DeserializeState(const std::vector<uint64_t>& words);
 
  private:
+  /// Materializes the seed-derived candidate matrix on first use. The
+  /// draw order is identical to generating it in the constructor, so
+  /// the deferral is unobservable — except in construction cost, which
+  /// matters for eval-only loads (serve::FrozenModel never samples, so
+  /// a 100k-node mapped load skips the N draws entirely). Logically
+  /// const: the observable state afterward equals eager construction's.
+  void EnsureCandidates() const;
+
   int64_t num_nodes_;
   int64_t m_;
   int64_t k_;
-  utils::Rng rng_;
-  std::vector<std::vector<int64_t>> candidates_;
+  mutable utils::Rng rng_;
+  mutable bool candidates_ready_ = false;
+  mutable std::vector<std::vector<int64_t>> candidates_;
 };
 
 }  // namespace sagdfn::core

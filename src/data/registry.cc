@@ -1,5 +1,7 @@
 #include "data/registry.h"
 
+#include <cmath>
+
 #include "utils/check.h"
 
 namespace sagdfn::data {
@@ -84,11 +86,40 @@ CarparkOptions CarparkOptionsFor(DatasetScale scale) {
   return o;
 }
 
+TrafficOptions ScaleTrafficOptions(const std::string& name,
+                                   DatasetScale scale) {
+  TrafficOptions o;
+  o.name = name;
+  o.num_nodes = name == "traffic10k-sim" ? 10000 : 100000;
+  // Hold the latent mean degree at ~20 regardless of N: a node's
+  // expected neighbor count in a random geometric graph is pi r^2 N.
+  o.radius = std::sqrt(20.0 / (3.141592653589793 * o.num_nodes));
+  o.kernel_sigma = 0.7 * o.radius;
+  // 15-minute resolution; quick keeps two days (weekday regimes only),
+  // full adds enough days for weekday + weekend splits.
+  o.steps_per_day = 96;
+  o.num_days = scale == DatasetScale::kQuick ? 2 : 9;
+  o.seed = 55;
+  return o;
+}
+
 }  // namespace
 
 std::vector<std::string> KnownDatasets() {
   return {"metr-la-sim", "london2000-sim", "newyork2000-sim",
           "carpark1918-sim"};
+}
+
+std::vector<std::string> ScaleDatasets() {
+  return {"traffic10k-sim", "traffic100k-sim"};
+}
+
+TimeSeries MakeScaleDataset(const std::string& name, DatasetScale scale,
+                            graph::SparseSpatialGraph* latent_graph) {
+  SAGDFN_CHECK(name == "traffic10k-sim" || name == "traffic100k-sim")
+      << "unknown scale dataset: " << name;
+  return GenerateTrafficSparse(ScaleTrafficOptions(name, scale),
+                               latent_graph);
 }
 
 TimeSeries MakeDataset(const std::string& name, DatasetScale scale,
@@ -131,6 +162,11 @@ DatasetInfo GetDatasetInfo(const std::string& name, DatasetScale scale) {
   }
   if (name == "newyork2000-sim") {
     fill_traffic(NewYorkOptions(scale), "simulated, NewYork hourly regime");
+    return info;
+  }
+  if (name == "traffic10k-sim" || name == "traffic100k-sim") {
+    fill_traffic(ScaleTrafficOptions(name, scale),
+                 "simulated, sparse-latent scale regime");
     return info;
   }
   if (name == "carpark1918-sim") {

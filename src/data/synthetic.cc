@@ -16,35 +16,24 @@ double GaussianBump(double t, double center, double width) {
   return std::exp(-0.5 * d * d / (width * width));
 }
 
-}  // namespace
-
-TimeSeries GenerateTraffic(const TrafficOptions& options,
-                           graph::SpatialGraph* latent_graph) {
+void CheckTrafficOptions(const TrafficOptions& options) {
   SAGDFN_CHECK_GT(options.num_nodes, 0);
   SAGDFN_CHECK_GT(options.num_days, 0);
   SAGDFN_CHECK_GT(options.steps_per_day, 0);
   SAGDFN_CHECK_GE(options.spatial_rho, 0.0);
   SAGDFN_CHECK_LT(options.spatial_rho, 1.0);
+}
 
-  utils::Rng rng(options.seed);
+// Shared traffic core: evolves the AR(1) congestion field over the
+// row-normalized latent transition matrix `p` (CSR) and renders speeds.
+// Both the dense and the sparse generator funnel through this, so they
+// agree bit for bit whenever their latent graphs do. `rng` arrives
+// having drawn exactly the graph coordinates.
+TimeSeries TrafficFromTransition(const TrafficOptions& options,
+                                 utils::Rng& rng,
+                                 const graph::CsrMatrix& p) {
   const int64_t n = options.num_nodes;
   const int64_t total = options.num_days * options.steps_per_day;
-
-  graph::SpatialGraph g = graph::RandomGeometric(
-      n, options.radius, options.kernel_sigma, rng);
-  // Random-walk transition matrix of the latent graph (sparse row lists
-  // for O(E) diffusion instead of O(N^2)).
-  tensor::Tensor p = graph::RowNormalize(g.adjacency);
-  std::vector<std::vector<std::pair<int64_t, float>>> neighbors(n);
-  {
-    const float* pp = p.data();
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        const float w = pp[i * n + j];
-        if (w > 0.0f) neighbors[i].emplace_back(j, w);
-      }
-    }
-  }
 
   // Per-sensor regime.
   std::vector<double> base(n);
@@ -81,9 +70,11 @@ TimeSeries GenerateTraffic(const TrafficOptions& options,
     // Latent field step: w <- rho * P w + innovations (+ shocks).
     for (int64_t i = 0; i < n; ++i) {
       double diffused = 0.0;
-      if (!neighbors[i].empty()) {
-        for (const auto& [j, weight] : neighbors[i]) {
-          diffused += weight * w[j];
+      const int64_t row_begin = p.row_ptr[i];
+      const int64_t row_end = p.row_ptr[i + 1];
+      if (row_begin != row_end) {
+        for (int64_t e = row_begin; e < row_end; ++e) {
+          diffused += p.val[e] * w[p.col[e]];
         }
       } else {
         diffused = w[i];
@@ -107,6 +98,34 @@ TimeSeries GenerateTraffic(const TrafficOptions& options,
     }
   }
 
+  return series;
+}
+
+}  // namespace
+
+TimeSeries GenerateTraffic(const TrafficOptions& options,
+                           graph::SpatialGraph* latent_graph) {
+  CheckTrafficOptions(options);
+  utils::Rng rng(options.seed);
+  graph::SpatialGraph g = graph::RandomGeometric(
+      options.num_nodes, options.radius, options.kernel_sigma, rng);
+  // Random-walk transition matrix of the latent graph, in CSR so the
+  // field step is O(E) instead of O(N^2).
+  graph::CsrMatrix p =
+      graph::CsrFromDense(graph::RowNormalize(g.adjacency));
+  TimeSeries series = TrafficFromTransition(options, rng, p);
+  if (latent_graph != nullptr) *latent_graph = std::move(g);
+  return series;
+}
+
+TimeSeries GenerateTrafficSparse(const TrafficOptions& options,
+                                 graph::SparseSpatialGraph* latent_graph) {
+  CheckTrafficOptions(options);
+  utils::Rng rng(options.seed);
+  graph::SparseSpatialGraph g = graph::RandomGeometricSparse(
+      options.num_nodes, options.radius, options.kernel_sigma, rng);
+  graph::CsrMatrix p = graph::RowNormalizeCsr(g.adjacency);
+  TimeSeries series = TrafficFromTransition(options, rng, p);
   if (latent_graph != nullptr) *latent_graph = std::move(g);
   return series;
 }

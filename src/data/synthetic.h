@@ -46,6 +46,19 @@ struct TrafficOptions {
 TimeSeries GenerateTraffic(const TrafficOptions& options,
                            graph::SpatialGraph* latent_graph = nullptr);
 
+/// The >= 10k-node regime of the traffic generator: identical model,
+/// but the latent graph is built and kept sparse (CSR), so memory and
+/// time are O(N * degree + N * steps) instead of the dense O(N^2).
+/// Bit-identical to GenerateTraffic for the same options at any size
+/// where the dense generator fits — same rng draw order, same latent
+/// transition weights, same field arithmetic — so tests can pin the
+/// sparse path against the dense one at small N. The latent graph comes
+/// back in CSR over global node ids; graph-recovery metrics go through
+/// graph::TopKOverlapCsr.
+TimeSeries GenerateTrafficSparse(
+    const TrafficOptions& options,
+    graph::SparseSpatialGraph* latent_graph = nullptr);
+
 /// Parameters of the synthetic carpark-availability generator (the
 /// CARPARK1918 stand-in): available-lot counts with capacity saturation,
 /// strong daily cycles that differ between "business" and "residential"

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.h"
 #include "tensor/tensor.h"
 #include "utils/rng.h"
 
@@ -26,6 +27,30 @@ struct SpatialGraph {
 /// graph construction), else 0.
 SpatialGraph RandomGeometric(int64_t num_nodes, double radius, double sigma,
                              utils::Rng& rng);
+
+/// A spatial graph stored sparsely — the N >= 10k regime, where a dense
+/// [N, N] adjacency tensor (400 MB at N=10k, 40 GB at N=100k) is not an
+/// option but the geometric graph itself has only ~degree * N edges.
+struct SparseSpatialGraph {
+  int64_t num_nodes = 0;
+  /// Symmetric weighted adjacency, zero diagonal, columns ascending.
+  CsrMatrix adjacency;
+  /// Node positions in the unit square.
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Sparse random geometric graph, bit-compatible with RandomGeometric:
+/// coordinates come from the same rng draws in the same order (the edge
+/// scan draws nothing), and each edge weight is the identical float
+/// expression, so at any N where the dense graph fits,
+/// RandomGeometricSparse(...).adjacency == CsrFromDense(
+/// RandomGeometric(...).adjacency) entry for entry. Edge construction
+/// uses a uniform grid with cell width >= radius (all neighbors lie in
+/// the 3x3 surrounding cells), so it runs in O(N * degree) time and
+/// memory instead of the dense O(N^2) pair scan.
+SparseSpatialGraph RandomGeometricSparse(int64_t num_nodes, double radius,
+                                         double sigma, utils::Rng& rng);
 
 /// Erdős–Rényi graph with edge probability p and Uniform(0.5, 1.5) edge
 /// weights. Symmetric, zero diagonal.

@@ -2,11 +2,13 @@
 #define SAGDFN_NN_SERIALIZATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "nn/module.h"
+#include "utils/mmap_file.h"
 #include "utils/status.h"
 
 namespace sagdfn::nn {
@@ -70,6 +72,54 @@ utils::Status LoadModule(Module* module, const std::string& path);
 utils::Status LoadModuleFromCheckpoint(Module* module,
                                        const Checkpoint& checkpoint,
                                        const std::string& prefix);
+
+// ---------------------------------------------------------------------------
+// Memory-mapped weight files ("SAGM" format). Unlike the streamed v2
+// checkpoint above — which copies every tensor into fresh heap storage on
+// load — a mapped file stores tensor data at 64-byte-aligned offsets so a
+// reader can mmap the file once and hand out zero-copy tensor views.
+// Loading a 100k-node frozen model becomes an O(index) parse instead of
+// an O(weights) copy, and every process serving the same model shares one
+// physical copy of the pages.
+
+/// Mapped weight-file format version. Version 1 layout:
+///   [0, 64)    header: magic "SAGM", version, tensor count, meta count,
+///              index byte count, total file byte count, zero padding
+///   [64, ...)  index: per tensor {name, rank, dims..., payload offset},
+///              then per meta entry {name, word count, payload offset}
+///   aligned    payloads: raw float / u64 arrays, each at a 64-byte
+///              boundary, in index order, zero-padded between entries
+/// All integers are little-endian u32/u64; offsets are absolute file
+/// offsets. Readers reject files whose declared sizes, counts, offsets,
+/// or alignments disagree with the actual file.
+inline constexpr uint32_t kMappedFormatVersion = 1;
+
+/// A weight file opened read-only via mmap: `tensors` alias the mapping
+/// (zero copy — treat them as read-only; writing through data() faults),
+/// kept alive by `file`. Meta entries are small and decoded eagerly.
+struct MappedCheckpoint {
+  std::shared_ptr<utils::MappedFile> file;
+  std::vector<std::pair<std::string, tensor::Tensor>> tensors;
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> meta;
+
+  const tensor::Tensor* FindTensor(const std::string& name) const;
+  const std::vector<uint64_t>* FindMeta(const std::string& name) const;
+};
+
+/// Atomically writes `checkpoint` in the mapped ("SAGM") format with the
+/// same verify-before-publish choreography as SaveCheckpoint: serialize
+/// to `path + ".tmp"`, re-open and validate the temp file via
+/// OpenMappedCheckpoint, fsync, then rename over `path`. Honors
+/// FaultInjector's io_fail@save / truncate_ckpt sites.
+utils::Status SaveMappedCheckpoint(const Checkpoint& checkpoint,
+                                   const std::string& path);
+
+/// Opens a file written by SaveMappedCheckpoint. Validates the header,
+/// every name/rank/dim, and that each payload offset is 64-byte aligned
+/// and in bounds before exposing any view; corrupt or truncated files are
+/// rejected without faulting.
+utils::Status OpenMappedCheckpoint(MappedCheckpoint* out,
+                                   const std::string& path);
 
 }  // namespace sagdfn::nn
 

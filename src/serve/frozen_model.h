@@ -47,6 +47,26 @@ class FrozenModel {
                             int64_t plan_cache_capacity =
                                 kDefaultPlanCacheCapacity);
 
+  /// Writes this frozen model as a memory-mapped weight file (the "SAGM"
+  /// format, nn::SaveMappedCheckpoint): all parameters and buffers plus
+  /// the frozen adjacency snapshot (a_s, inverse degrees, index set) and
+  /// a config fingerprint. Written atomically (verify-before-publish).
+  utils::Status Save(const std::string& path) const;
+
+  /// Opens a weight file written by Save() via mmap and builds a frozen
+  /// model around it with ZERO parameter copies: parameter storage and
+  /// the adjacency snapshot alias the mapped pages (read-only; shared
+  /// physically with every other process serving the same file), so load
+  /// time is O(index + CSR build) — milliseconds at N=100k — instead of
+  /// the heap Load() path's full-checkpoint copy plus attention/entmax
+  /// snapshot recomputation. Forecasts are memcmp-identical to Load().
+  /// Fails cleanly on a corrupt file or a config mismatch.
+  static utils::Status LoadMapped(const core::SagdfnConfig& config,
+                                  const std::string& path,
+                                  std::unique_ptr<FrozenModel>* out,
+                                  int64_t plan_cache_capacity =
+                                      kDefaultPlanCacheCapacity);
+
   /// Thread-safe batched inference: `x` [B, h, N, C], `future_tod`
   /// [B, f] -> scaled predictions [B, f, N]. Per batch row the result is
   /// bit-identical however the rows are batched. Replays the precompiled

@@ -1,16 +1,29 @@
 #include "tensor/tensor.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "utils/check.h"
 
 namespace sagdfn::tensor {
 
+namespace {
+
+// Heap storage: a shared vector whose data() backs ptr_. Kept as a
+// helper so every allocating path sets owner_/ptr_ the same way.
+std::shared_ptr<std::vector<float>> MakeStorage(int64_t n, float value) {
+  return std::make_shared<std::vector<float>>(static_cast<size_t>(n), value);
+}
+
+}  // namespace
+
 Tensor::Tensor() : Tensor(Shape({0})) {}
 
-Tensor::Tensor(Shape shape)
-    : data_(std::make_shared<std::vector<float>>(shape.NumElements(), 0.0f)),
-      shape_(std::move(shape)) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  auto storage = MakeStorage(shape_.NumElements(), 0.0f);
+  ptr_ = storage->data();
+  owner_ = std::move(storage);
+}
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -18,40 +31,54 @@ Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::Full(Shape shape, float value) {
   Tensor t(std::move(shape));
-  t.Fill(value);
+  std::fill(t.ptr_, t.ptr_ + t.size(), value);
   return t;
 }
 
 Tensor Tensor::Scalar(float value) {
   Tensor t{Shape(std::vector<int64_t>{})};
-  (*t.data_)[0] = value;
+  t.ptr_[0] = value;
   return t;
 }
 
 Tensor Tensor::FromVector(std::vector<float> values, Shape shape) {
   SAGDFN_CHECK_EQ(static_cast<int64_t>(values.size()), shape.NumElements());
   Tensor t;
-  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  auto storage = std::make_shared<std::vector<float>>(std::move(values));
+  t.ptr_ = storage->data();
+  t.owner_ = std::move(storage);
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::FromExternal(std::shared_ptr<void> owner, float* ptr,
+                            Shape shape) {
+  SAGDFN_CHECK(ptr != nullptr || shape.NumElements() == 0)
+      << "FromExternal: null storage for non-empty shape "
+      << shape.ToString();
+  Tensor t;
+  t.owner_ = std::move(owner);
+  t.ptr_ = ptr;
   t.shape_ = std::move(shape);
   return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
   Tensor t{Shape({n})};
-  for (int64_t i = 0; i < n; ++i) (*t.data_)[i] = static_cast<float>(i);
+  for (int64_t i = 0; i < n; ++i) t.ptr_[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::Eye(int64_t n) {
   Tensor t{Shape({n, n})};
-  for (int64_t i = 0; i < n; ++i) (*t.data_)[i * n + i] = 1.0f;
+  for (int64_t i = 0; i < n; ++i) t.ptr_[i * n + i] = 1.0f;
   return t;
 }
 
 Tensor Tensor::Uniform(Shape shape, utils::Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : *t.data_) {
-    v = static_cast<float>(rng.Uniform(lo, hi));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.ptr_[i] = static_cast<float>(rng.Uniform(lo, hi));
   }
   return t;
 }
@@ -59,8 +86,8 @@ Tensor Tensor::Uniform(Shape shape, utils::Rng& rng, float lo, float hi) {
 Tensor Tensor::Normal(Shape shape, utils::Rng& rng, float mean,
                       float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : *t.data_) {
-    v = static_cast<float>(rng.Normal(mean, stddev));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.ptr_[i] = static_cast<float>(rng.Normal(mean, stddev));
   }
   return t;
 }
@@ -75,7 +102,7 @@ float& Tensor::At(std::initializer_list<int64_t> index) {
     SAGDFN_DCHECK_LT(i, shape_.dim(d));
     offset += i * strides[d++];
   }
-  return (*data_)[offset];
+  return ptr_[offset];
 }
 
 float Tensor::At(std::initializer_list<int64_t> index) const {
@@ -84,7 +111,7 @@ float Tensor::At(std::initializer_list<int64_t> index) const {
 
 float Tensor::Item() const {
   SAGDFN_CHECK_EQ(size(), 1) << "Item() requires a single-element tensor";
-  return (*data_)[0];
+  return ptr_[0];
 }
 
 Tensor Tensor::Reshape(std::vector<int64_t> dims) const {
@@ -114,21 +141,24 @@ Tensor Tensor::Reshape(std::vector<int64_t> dims) const {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor t;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
-  t.shape_ = shape_;
+  Tensor t{shape_};
+  if (size() > 0) {
+    std::memcpy(t.ptr_, ptr_, static_cast<size_t>(size()) * sizeof(float));
+  }
   return t;
 }
 
 void Tensor::Fill(float value) {
-  for (auto& v : *data_) v = value;
+  std::fill(ptr_, ptr_ + size(), value);
 }
 
 void Tensor::CopyFrom(const Tensor& src) {
   SAGDFN_CHECK(shape_ == src.shape_)
       << "CopyFrom shape mismatch: " << shape_.ToString() << " vs "
       << src.shape_.ToString();
-  *data_ = *src.data_;
+  if (size() > 0) {
+    std::memmove(ptr_, src.ptr_, static_cast<size_t>(size()) * sizeof(float));
+  }
 }
 
 std::string Tensor::ToString(int64_t max_elements) const {
@@ -137,7 +167,7 @@ std::string Tensor::ToString(int64_t max_elements) const {
   int64_t n = std::min<int64_t>(size(), max_elements);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) os << ", ";
-    os << (*data_)[i];
+    os << ptr_[i];
   }
   if (size() > n) os << ", ...";
   os << "}";

@@ -36,6 +36,13 @@ class Tensor {
   static Tensor Scalar(float value);
   /// Takes ownership of `values`; size must equal shape.NumElements().
   static Tensor FromVector(std::vector<float> values, Shape shape);
+  /// Wraps storage the tensor does not own — `ptr` must point at
+  /// shape.NumElements() contiguous floats kept alive by `owner` (e.g. a
+  /// memory-mapped weight file). No copy is made. If the backing memory
+  /// is mapped read-only, callers must treat the tensor as read-only:
+  /// writing through data() would fault.
+  static Tensor FromExternal(std::shared_ptr<void> owner, float* ptr,
+                             Shape shape);
   /// [0, 1, ..., n-1] as a rank-1 tensor.
   static Tensor Arange(int64_t n);
   /// N x N identity.
@@ -54,12 +61,12 @@ class Tensor {
   int64_t dim(int64_t d) const { return shape_.dim(d); }
   int64_t size() const { return shape_.NumElements(); }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
 
   /// Element access by flat row-major offset.
-  float& operator[](int64_t i) { return (*data_)[i]; }
-  float operator[](int64_t i) const { return (*data_)[i]; }
+  float& operator[](int64_t i) { return ptr_[i]; }
+  float operator[](int64_t i) const { return ptr_[i]; }
 
   /// Element access by multi-index (size must equal ndim()).
   float& At(std::initializer_list<int64_t> index);
@@ -70,7 +77,7 @@ class Tensor {
 
   /// True if this handle shares storage with `other`.
   bool SharesStorageWith(const Tensor& other) const {
-    return data_ == other.data_;
+    return owner_ == other.owner_ && ptr_ == other.ptr_;
   }
 
   // -- Shape manipulation (storage-sharing where possible) ------------------
@@ -93,7 +100,12 @@ class Tensor {
   std::string ToString(int64_t max_elements = 32) const;
 
  private:
-  std::shared_ptr<std::vector<float>> data_;
+  /// Keeps the backing storage alive. For heap tensors this owns a
+  /// std::vector<float>; for FromExternal views it owns whatever keeps
+  /// the external memory valid (e.g. a mapped file handle). `ptr_`
+  /// points at the first element inside that storage.
+  std::shared_ptr<void> owner_;
+  float* ptr_ = nullptr;
   Shape shape_;
 };
 

@@ -1,0 +1,57 @@
+#include "utils/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sagdfn::utils {
+
+Status MappedFile::Open(const std::string& path,
+                        std::shared_ptr<MappedFile>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("mmap open failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat failed for " + path + ": " +
+                            std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap failed for " + path + ": " +
+                              std::strerror(err));
+    }
+    data = static_cast<const uint8_t*>(map);
+  }
+  // The mapping survives the descriptor; closing here keeps the fd table
+  // flat when many engine processes map the same weight file.
+  ::close(fd);
+
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->data_ = data;
+  file->size_ = size;
+  file->path_ = path;
+  *out = std::move(file);
+  return Status::Ok();
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace sagdfn::utils

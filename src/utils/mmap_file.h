@@ -1,0 +1,43 @@
+#ifndef SAGDFN_UTILS_MMAP_FILE_H_
+#define SAGDFN_UTILS_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "utils/status.h"
+
+namespace sagdfn::utils {
+
+/// Read-only memory-mapped file. The mapping is PROT_READ / MAP_PRIVATE:
+/// pages are shared with every other process mapping the same file until
+/// someone writes (which faults — callers must treat the bytes as
+/// immutable). Held by shared_ptr so tensors can alias into the mapping
+/// and keep it alive past the loader's scope.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files map successfully with size 0.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<MappedFile>* out);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace sagdfn::utils
+
+#endif  // SAGDFN_UTILS_MMAP_FILE_H_

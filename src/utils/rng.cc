@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+
 #include "utils/check.h"
 
 namespace sagdfn::utils {
@@ -84,15 +85,52 @@ bool Rng::Bernoulli(double p) { return Uniform() < p; }
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   SAGDFN_CHECK_GE(k, 0);
   SAGDFN_CHECK_LE(k, n);
-  // Partial Fisher-Yates over [0, n).
-  std::vector<int64_t> pool(n);
-  std::iota(pool.begin(), pool.end(), 0);
-  for (int64_t i = 0; i < k; ++i) {
-    int64_t j = UniformInt(i, n);
-    std::swap(pool[i], pool[j]);
+  // Partial Fisher-Yates over [0, n). For k << n, materializing and
+  // iota-ing the full pool is the dominant cost (the SNS sampler calls
+  // this once per node, which made model construction O(N^2) at scale),
+  // so the sparse branch simulates the same shuffle through a map of
+  // displaced entries — identical rng draws, identical output, O(k)
+  // time and memory.
+  if (k * 4 >= n) {
+    std::vector<int64_t> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = UniformInt(i, n);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
   }
-  pool.resize(k);
-  return pool;
+  std::vector<int64_t> out(k);
+  // At most 2k entries are ever displaced; a flat O(k) scan beats a hash
+  // map by a wide margin at the k's that take this branch (the SNS
+  // sampler calls this once per node with k = M ~ tens).
+  std::vector<std::pair<int64_t, int64_t>> displaced;  // (index, value)
+  displaced.reserve(2 * k);
+  auto value_at = [&](int64_t idx) {
+    for (const auto& [di, dv] : displaced) {
+      if (di == idx) return dv;
+    }
+    return idx;
+  };
+  auto set_value = [&](int64_t idx, int64_t value) {
+    for (auto& [di, dv] : displaced) {
+      if (di == idx) {
+        dv = value;
+        return;
+      }
+    }
+    displaced.emplace_back(idx, value);
+  };
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = UniformInt(i, n);
+    const int64_t vi = value_at(i);
+    const int64_t vj = value_at(j);
+    set_value(i, vj);
+    set_value(j, vi);
+    out[i] = vj;
+  }
+  return out;
 }
 
 std::vector<int64_t> Rng::Permutation(int64_t n) {

@@ -58,6 +58,22 @@ TEST(RngTest, SampleWithoutReplacementDistinct) {
   }
 }
 
+TEST(RngTest, SampleWithoutReplacementBranchesAgree) {
+  // The sparse (k << n) branch must replay the dense partial
+  // Fisher-Yates exactly. Same seed, same draws: the first k entries of
+  // a full permutation (dense branch) ARE the k-sample, because swaps at
+  // positions >= k never touch the prefix.
+  for (int64_t k : {1, 10, 40}) {
+    Rng sparse_rng(9), dense_rng(9);
+    auto sample = sparse_rng.SampleWithoutReplacement(1000, k);
+    auto perm = dense_rng.Permutation(1000);
+    perm.resize(k);
+    EXPECT_EQ(sample, perm) << "k=" << k;
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(static_cast<int64_t>(unique.size()), k);
+  }
+}
+
 TEST(RngTest, PermutationCoversAll) {
   Rng rng(6);
   auto perm = rng.Permutation(50);

@@ -8,6 +8,9 @@ Usage:
         [--serve-baseline PATH] [--threshold PCT]
     tools/check_bench_regression.py --rollout-fresh BENCH_rollout_fusion.json
         [--rollout-baseline PATH] [--threshold PCT] [--min-fusion-speedup X]
+    tools/check_bench_regression.py --graphsize-fresh \
+        BENCH_graphsize_scaling.json [--graphsize-baseline PATH]
+        [--threshold PCT] [--max-superlinear-ratio X] [--max-mmap-load-ms MS]
 
 The cost JSON is the per-kernel timer registry written by
 bench/bench_micro_ops (obs::WriteRegistryJson): for every timer it records
@@ -46,6 +49,21 @@ fused+planned speedup over eager fell below --min-fusion-speedup, or if
 the bench reported a broken invariant (replay-vs-eager mismatch, arena
 high-water drift). Like the serve comparison this is wall-clock bound,
 so CI runs it NON-BLOCKING with the JSON uploaded as an artifact.
+
+With --graphsize-fresh the script checks a BENCH_graphsize_scaling.json
+written by bench/bench_table4_graphsize --scaling (per-N CSR diffusion
+step time, frozen-model load time, and serve tick latency). The load-
+bearing criterion is LINEARITY: ns_per_nm is the CSR diffusion cost
+normalized by N*M, so it must stay roughly flat as N grows. Between
+consecutive sizes it may grow by at most --max-superlinear-ratio
+(default 2.0; an O(N^2) kernel would show ~5x from 2k to 10k). The
+script also requires every scenario's mmap_load_ms to stay under
+--max-mmap-load-ms (default 100 — the mapped frozen-model load must be
+milliseconds even at 100k nodes), requires the bench's byte-identity
+invariants (csr_matches_dense, mmap_matches_heap) to hold, and compares
+ns_per_nm against --graphsize-baseline with the usual --threshold. The
+linearity and invariant checks are fresh-run-only and PR-BLOCKING; the
+baseline comparison is wall-clock bound and advisory like the others.
 
 Exit codes: 0 ok, 1 regression (or speedup requirement unmet), 2 bad
 invocation or unreadable input.
@@ -239,6 +257,74 @@ def check_rollout(fresh, baseline, invariants, threshold_pct, min_speedup):
     return failures
 
 
+def load_graphsize(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    scenarios = doc.get("graphsize")
+    if not isinstance(scenarios, dict):
+        print(f"error: {path} has no 'graphsize' object", file=sys.stderr)
+        sys.exit(2)
+    return scenarios, doc.get("invariants", {})
+
+
+def check_graphsize(fresh, baseline, invariants, threshold_pct,
+                    max_superlinear_ratio, max_mmap_load_ms):
+    """Linearity in N*M, mmap load bound, invariants, baseline drift."""
+    failures = []
+    # Sort by the node count VALUE — the "n10000" key sorts before
+    # "n2000" lexically.
+    ordered = sorted(fresh, key=lambda k: fresh[k].get("nodes", 0))
+    prev = None
+    for name in ordered:
+        row = fresh[name]
+        nodes = row.get("nodes", 0)
+        ns = row.get("ns_per_nm", 0.0)
+        line = (f"  {name:8s} N={nodes:<7d} csr {row.get('csr_step_ms', 0.0):8.3f}ms"
+                f"  ns/(N*M) {ns:7.3f}")
+        if prev is not None and prev[1] > 0.0:
+            ratio = ns / prev[1]
+            superlinear = ratio > max_superlinear_ratio
+            line += (f"  x{ratio:.2f} vs {prev[0]}"
+                     f" (bound {max_superlinear_ratio:.2f}x)"
+                     f"{'  SUPERLINEAR' if superlinear else ''}")
+            if superlinear:
+                failures.append((f"{name}.ns_per_nm_ratio", ratio))
+        print(line)
+        prev = (name, ns)
+    for name in ordered:
+        mmap_ms = fresh[name].get("mmap_load_ms", 0.0)
+        ok = mmap_ms <= max_mmap_load_ms
+        print(f"  {name:8s} mmap load {mmap_ms:8.2f}ms "
+              f"(bound {max_mmap_load_ms:.0f}ms)  {'ok' if ok else 'TOO SLOW'}")
+        if not ok:
+            failures.append((f"{name}.mmap_load_ms", mmap_ms))
+    for key in ("csr_matches_dense", "mmap_matches_heap"):
+        value = invariants.get(key, 0)
+        print(f"  invariant {key}: {value}")
+        if value != 1:
+            failures.append((f"invariants.{key}", value))
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: scenario '{name}' missing from fresh run; skipping")
+            continue
+        base = baseline[name].get("ns_per_nm", 0.0)
+        new = fresh[name].get("ns_per_nm", 0.0)
+        if base <= 0.0:
+            continue
+        delta_pct = 100.0 * (new - base) / base
+        regressed = delta_pct > threshold_pct
+        marker = "REGRESSION" if regressed else "ok"
+        print(f"  {name:8s} ns/(N*M) base {base:7.3f}  fresh {new:7.3f} "
+              f"({delta_pct:+6.1f}%)  {marker}")
+        if regressed:
+            failures.append((f"{name}.ns_per_nm", delta_pct))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_micro_ops_cost.json",
@@ -272,10 +358,39 @@ def main():
     parser.add_argument("--min-fusion-speedup", type=float, default=1.3,
                         help="minimum fused+planned speedup over the eager "
                              "rollout, per scenario")
+    parser.add_argument("--graphsize-fresh", default=None,
+                        help="BENCH_graphsize_scaling.json from the run "
+                             "under test; selects the N*M linearity check")
+    parser.add_argument("--graphsize-baseline",
+                        default="bench/baselines/BENCH_graphsize_scaling.json",
+                        help="committed baseline graphsize scaling JSON")
+    parser.add_argument("--max-superlinear-ratio", type=float, default=2.0,
+                        help="max tolerated growth of ns_per_nm between "
+                             "consecutive graph sizes (linear => ~1.0)")
+    parser.add_argument("--max-mmap-load-ms", type=float, default=100.0,
+                        help="max tolerated mapped frozen-model load time "
+                             "at any graph size, milliseconds")
     args = parser.parse_args()
     if args.threshold <= 0:
         print("error: --threshold must be positive", file=sys.stderr)
         return 2
+
+    if args.graphsize_fresh is not None:
+        fresh, invariants = load_graphsize(args.graphsize_fresh)
+        baseline, _ = load_graphsize(args.graphsize_baseline)
+        print(f"== graphsize scaling check (threshold {args.threshold:.0f}%, "
+              f"superlinear bound {args.max_superlinear_ratio:.2f}x, "
+              f"mmap bound {args.max_mmap_load_ms:.0f}ms) ==")
+        failures = check_graphsize(fresh, baseline, invariants,
+                                   args.threshold,
+                                   args.max_superlinear_ratio,
+                                   args.max_mmap_load_ms)
+        if failures:
+            for name, value in failures:
+                print(f"FAIL: {name} = {value}", file=sys.stderr)
+            return 1
+        print("graphsize scaling check passed")
+        return 0
 
     if args.rollout_fresh is not None:
         fresh, invariants = load_rollout(args.rollout_fresh)

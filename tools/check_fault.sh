@@ -14,9 +14,18 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
 
+# ccache makes the from-scratch sanitizer configure cheap on CI reruns;
+# harmless locally when ccache is absent.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                  -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSAGDFN_SANITIZE=address
+  -DSAGDFN_SANITIZE=address \
+  ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"}
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target fault_injection_test serialization_test trainer_test \
   serve_engine_test rollout_plan_test registry_test tick_stream_test

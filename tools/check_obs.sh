@@ -14,7 +14,16 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+# ccache keeps CI reruns of this from-scratch build cheap; harmless
+# locally when ccache is absent.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                  -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"} >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target obs_test traffic_forecasting
 
