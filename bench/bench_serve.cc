@@ -28,6 +28,7 @@
 #include "serve/engine.h"
 #include "serve/forecast_cache.h"
 #include "serve/frozen_model.h"
+#include "serve/tenant_router.h"
 #include "tensor/tensor.h"
 #include "utils/rng.h"
 
@@ -332,6 +333,130 @@ void BM_ServeUnbatchedBaseline(benchmark::State& state) {
   state.counters["rps"] = summary.throughput_rps;
 }
 BENCHMARK(BM_ServeUnbatchedBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Replays `requests` windows through a TenantRouter for one tenant from
+/// `clients` submitter threads; same latency accounting as ReplayOnce.
+double RouterReplayOnce(serve::TenantRouter& router, const std::string& tenant,
+                        int64_t requests, int64_t clients,
+                        std::vector<double>* latencies_us) {
+  const RequestStream& stream = SharedStream(requests);
+  std::vector<std::future<serve::Forecast>> futures(requests);
+  std::vector<std::chrono::steady_clock::time_point> started(requests);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < requests; i += clients) {
+        started[i] = std::chrono::steady_clock::now();
+        futures[i] = router.Submit(tenant, stream.xs[i], stream.tods[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int64_t i = 0; i < requests; ++i) {
+    futures[i].wait();
+    latencies_us->push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - started[i])
+            .count());
+  }
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - wall_start)
+      .count();
+}
+
+/// Multi-tenant isolation cost at EQUAL AGGREGATE LOAD: the 4-client
+/// 64-request replay served to ONE tenant on an otherwise idle router
+/// (the single-tenant reference), then the same 64 requests split
+/// across four tenants at once — each tenant's own client submitting
+/// its quarter of the stream concurrently against its own engine. Total
+/// offered work and total client threads are identical in both legs, so
+/// the comparison measures what per-tenant partitioning (separate
+/// queues, workers, registries) costs over pooling everything in one
+/// engine — not the machine's capacity to run 4x the load. Each
+/// tenant's p50/p99 is recorded separately (serve.tenant.multi.<id>)
+/// next to the reference (serve.tenant.single);
+/// check_bench_regression.py gates, from the fresh run alone, that no
+/// tenant's p99 exceeds 2x the single-tenant p99 — the "noisy neighbors
+/// cost at most one doubling" fairness bound.
+void BM_ServeMultiTenant(benchmark::State& state) {
+  const std::vector<std::string> ids = {"metr-la-sim", "london2000",
+                                        "newyork2000", "carpark"};
+  const int64_t requests = 64;
+  const int64_t per_tenant =
+      requests / static_cast<int64_t>(ids.size());
+  serve::TenantConfig tenant_config;
+  tenant_config.engine.num_workers = 2;
+  tenant_config.engine.max_batch = g_max_batch > 0 ? g_max_batch : 8;
+  tenant_config.engine.max_wait_us = g_max_wait_us;
+
+  std::vector<double> single_us;
+  std::map<std::string, std::vector<double>> multi_us;
+  for (const std::string& id : ids) multi_us[id];  // pre-insert: the tenant
+  // threads below only touch their own pre-existing vector.
+  double single_wall_s = 0.0;
+  double multi_wall_s = 0.0;
+  for (auto _ : state) {
+    {
+      serve::TenantRouter router;
+      if (!router.AddTenant("solo", SharedModel(), tenant_config).ok()) {
+        state.SkipWithError("AddTenant(solo) failed");
+        return;
+      }
+      single_wall_s +=
+          RouterReplayOnce(router, "solo", requests, /*clients=*/4,
+                           &single_us);
+    }
+    {
+      serve::TenantRouter router;
+      for (const std::string& id : ids) {
+        if (!router.AddTenant(id, SharedModel(), tenant_config).ok()) {
+          state.SkipWithError("AddTenant failed");
+          return;
+        }
+      }
+      const auto wall_start = std::chrono::steady_clock::now();
+      std::vector<std::thread> tenants;
+      for (const std::string& id : ids) {
+        tenants.emplace_back([&, id] {
+          RouterReplayOnce(router, id, per_tenant, /*clients=*/1,
+                           &multi_us[id]);
+        });
+      }
+      for (auto& t : tenants) t.join();
+      multi_wall_s +=
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+    }
+  }
+
+  ScenarioSummary single;
+  FillLatencyPercentiles(&single_us, &single);
+  single.throughput_rps =
+      single_wall_s > 0.0
+          ? static_cast<double>(single.requests) / single_wall_s
+          : 0.0;
+  Summaries()["serve.tenant.single"] = single;
+  state.counters["single_p99_us"] = single.p99_us;
+  double worst_p99 = 0.0;
+  for (const std::string& id : ids) {
+    ScenarioSummary summary;
+    FillLatencyPercentiles(&multi_us[id], &summary);
+    summary.throughput_rps =
+        multi_wall_s > 0.0
+            ? static_cast<double>(summary.requests) / multi_wall_s
+            : 0.0;
+    Summaries()["serve.tenant.multi." + id] = summary;
+    worst_p99 = std::max(worst_p99, summary.p99_us);
+  }
+  state.counters["worst_multi_p99_us"] = worst_p99;
+  state.counters["fairness_ratio"] =
+      single.p99_us > 0.0 ? worst_p99 / single.p99_us : 0.0;
+}
+BENCHMARK(BM_ServeMultiTenant)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

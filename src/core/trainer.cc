@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "autograd/ops.h"
+#include "core/sagdfn.h"
 #include "nn/serialization.h"
 #include "obs/telemetry.h"
 #include "tensor/tensor_ops.h"
@@ -733,6 +734,26 @@ double Trainer::TimeInference() {
   utils::Stopwatch watch;
   Predict(data::Split::kTest);
   return watch.ElapsedSeconds();
+}
+
+utils::Status FineTuneFromSnapshot(const SagdfnModel& snapshot,
+                                   const data::ForecastDataset& dataset,
+                                   const TrainOptions& options,
+                                   const std::string& candidate_path,
+                                   TrainResult* result) {
+  SAGDFN_CHECK_EQ(snapshot.config().num_nodes, dataset.num_nodes())
+      << "fine-tune dataset node count must match the serving snapshot";
+  auto clone = std::make_unique<SagdfnModel>(snapshot.config());
+  utils::Status status = nn::CopyModuleState(snapshot, clone.get());
+  if (!status.ok()) return status;
+
+  Trainer trainer(clone.get(), &dataset, options);
+  TrainResult train_result = trainer.Train();
+  if (result != nullptr) *result = train_result;
+  if (!train_result.status.ok()) return train_result.status;
+
+  clone->SetTraining(false);
+  return nn::SaveModule(*clone, candidate_path);
 }
 
 }  // namespace sagdfn::core

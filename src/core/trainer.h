@@ -199,6 +199,24 @@ class Trainer {
   bool resumed_ = false;
 };
 
+class SagdfnModel;
+
+/// One round of online fine-tuning for the serving loop: clones
+/// `snapshot` (fresh SagdfnModel on the same config, parameters and
+/// buffers copied in memory — the restored SNS buffer keeps the clone's
+/// index set frozen, so only weights move), runs a short Trainer::Train
+/// on `dataset` (which the caller builds over freshly buffered ticks
+/// with the deployment's pinned scaler), and atomically writes the
+/// resulting weights to `candidate_path` via nn::SaveModule. The caller
+/// then offers the file to a serve::ModelRegistry, whose gate decides
+/// publish vs reject — this function never touches live serving state.
+/// `result`, when non-null, receives the inner training report.
+utils::Status FineTuneFromSnapshot(const SagdfnModel& snapshot,
+                                   const data::ForecastDataset& dataset,
+                                   const TrainOptions& options,
+                                   const std::string& candidate_path,
+                                   TrainResult* result = nullptr);
+
 }  // namespace sagdfn::core
 
 #endif  // SAGDFN_CORE_TRAINER_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "utils/check.h"
+#include "utils/rng.h"
 
 namespace sagdfn::data {
 namespace {
@@ -192,6 +193,43 @@ WindowSpec DefaultWindowSpec(const std::string& name) {
     spec.horizon = 12;
   }
   return spec;
+}
+
+TimeSeries ApplyDrift(const TimeSeries& series, const DriftOptions& options) {
+  const int64_t t_steps = series.num_steps();
+  const int64_t n = series.num_nodes();
+  SAGDFN_CHECK_GT(t_steps, 0);
+  SAGDFN_CHECK_GT(n, 0);
+
+  // Per-node gain/offset jitter drawn once, so the shift is a stable
+  // property of each node rather than extra noise.
+  utils::Rng rng(options.seed);
+  std::vector<float> gains(n);
+  std::vector<float> offsets(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double j = options.node_jitter;
+    gains[i] = static_cast<float>(options.gain * rng.Uniform(1.0 - j, 1.0 + j));
+    offsets[i] =
+        static_cast<float>(options.offset * rng.Uniform(1.0 - j, 1.0 + j));
+  }
+
+  TimeSeries out;
+  out.name = series.name + "-drift";
+  out.steps_per_day = series.steps_per_day;
+  out.values = tensor::Tensor::Zeros(series.values.shape());
+  const float* src = series.values.data();
+  float* dst = out.values.data();
+  constexpr double kTwoPi = 6.283185307179586;
+  for (int64_t t = 0; t < t_steps; ++t) {
+    const double tod = series.TimeOfDay(t);
+    const float ripple = static_cast<float>(
+        options.diurnal_amplitude *
+        std::sin(kTwoPi * (tod + options.diurnal_phase)));
+    for (int64_t i = 0; i < n; ++i) {
+      dst[t * n + i] = gains[i] * src[t * n + i] + offsets[i] + ripple;
+    }
+  }
+  return out;
 }
 
 }  // namespace sagdfn::data

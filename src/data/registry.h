@@ -61,6 +61,32 @@ DatasetInfo GetDatasetInfo(const std::string& name, DatasetScale scale);
 /// h=24,f=12 for carpark.
 WindowSpec DefaultWindowSpec(const std::string& name);
 
+/// Deterministic distribution shift applied to an existing series — the
+/// synthetic stand-in for the structure/level drift that motivates
+/// online continual learning (per-dataset dynamics change over time;
+/// see Chen et al. / Xu et al. in PAPERS.md). Each node gets a seeded
+/// multiplicative gain and additive offset jitter around the configured
+/// means, plus a phase-shifted diurnal ripple, so a model trained on the
+/// base series measurably regresses on the drifted one while the graph
+/// structure (node identity, spatial correlation) is preserved.
+struct DriftOptions {
+  /// Mean multiplicative level shift (per-node jittered around this).
+  double gain = 0.85;
+  /// Mean additive level shift in original units.
+  double offset = 3.0;
+  /// Relative per-node jitter on gain/offset, uniform in [-jitter, +jitter].
+  double node_jitter = 0.1;
+  /// Amplitude of the added time-of-day ripple (original units).
+  double diurnal_amplitude = 2.0;
+  /// Phase shift of the ripple, in fractions of a day.
+  double diurnal_phase = 0.3;
+  uint64_t seed = 77;
+};
+
+/// Returns a drifted copy of `series` (same shape, name suffixed
+/// "-drift"). Deterministic in (series, options).
+TimeSeries ApplyDrift(const TimeSeries& series, const DriftOptions& options);
+
 }  // namespace sagdfn::data
 
 #endif  // SAGDFN_DATA_REGISTRY_H_

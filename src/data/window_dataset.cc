@@ -37,6 +37,16 @@ ForecastDataset::ForecastDataset(TimeSeries series, WindowSpec spec,
   scaled_values_ = scaler_.Transform(series_.values);
 }
 
+ForecastDataset::ForecastDataset(TimeSeries series, WindowSpec spec,
+                                 const StandardScaler& pinned_scaler,
+                                 double train_frac, double val_frac)
+    : ForecastDataset(std::move(series), spec, train_frac, val_frac) {
+  SAGDFN_CHECK(pinned_scaler.fitted())
+      << "pinned scaler must be fitted before constructing a dataset on it";
+  scaler_ = pinned_scaler;
+  scaled_values_ = scaler_.Transform(series_.values);
+}
+
 ForecastDataset::Range ForecastDataset::RangeOf(Split split) const {
   switch (split) {
     case Split::kTrain:

@@ -49,6 +49,16 @@ class ForecastDataset {
   ForecastDataset(TimeSeries series, WindowSpec spec,
                   double train_frac = 0.7, double val_frac = 0.1);
 
+  /// Same splits, but normalizes with `pinned_scaler` instead of fitting
+  /// one on the training slice. The online fine-tuner pins the original
+  /// deployment's scaler here: serving requests and forecasts live in
+  /// that scaled space, so a buffer of freshly arrived ticks must be
+  /// scaled with the same mean/std or the fine-tuned weights would learn
+  /// a shifted input distribution.
+  ForecastDataset(TimeSeries series, WindowSpec spec,
+                  const StandardScaler& pinned_scaler,
+                  double train_frac = 0.7, double val_frac = 0.1);
+
   /// Number of complete windows in a split.
   int64_t NumSamples(Split split) const;
 

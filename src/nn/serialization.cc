@@ -436,6 +436,17 @@ utils::Status LoadModule(Module* module, const std::string& path) {
   return LoadModuleFromCheckpoint(module, checkpoint, /*prefix=*/"");
 }
 
+utils::Status CopyModuleState(const Module& src, Module* dst) {
+  Checkpoint checkpoint;
+  for (const auto& [name, var] : src.NamedParameters()) {
+    checkpoint.tensors.emplace_back(name, var.value());
+  }
+  for (const auto& [name, buffer] : src.NamedBuffers()) {
+    checkpoint.tensors.emplace_back("buffer:" + name, buffer);
+  }
+  return LoadModuleFromCheckpoint(dst, checkpoint, /*prefix=*/"");
+}
+
 // ---------------------------------------------------------------------------
 // Mapped ("SAGM") weight files.
 

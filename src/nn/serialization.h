@@ -73,6 +73,14 @@ utils::Status LoadModuleFromCheckpoint(Module* module,
                                        const Checkpoint& checkpoint,
                                        const std::string& prefix);
 
+/// Copies every named parameter and buffer of `src` into `dst` with the
+/// same strict name/shape matching as LoadModule, then calls
+/// dst->OnStateLoaded() — an in-memory checkpoint round trip without
+/// touching disk. The online fine-tuner uses this to seed a trainable
+/// clone from a live serving snapshot (the restored SNS index buffer
+/// keeps the clone's neighbor structure frozen).
+utils::Status CopyModuleState(const Module& src, Module* dst);
+
 // ---------------------------------------------------------------------------
 // Memory-mapped weight files ("SAGM" format). Unlike the streamed v2
 // checkpoint above — which copies every tensor into fresh heap storage on

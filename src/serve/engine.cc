@@ -36,6 +36,23 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const FrozenModel> model,
                                  const EngineOptions& options)
     : options_(options), model_(std::move(model)) {
   SAGDFN_CHECK(model_ != nullptr);
+  // serve.* for the legacy single-tenant process, serve.<tenant>.* when
+  // this engine is one lane of a multi-tenant router.
+  const std::string prefix =
+      options_.tenant.empty() ? "serve." : "serve." + options_.tenant + ".";
+  names_.submitted = prefix + "requests.submitted";
+  names_.completed = prefix + "requests.completed";
+  names_.rejected = prefix + "requests.rejected";
+  names_.timed_out = prefix + "requests.timed_out";
+  names_.shed = prefix + "requests.shed";
+  names_.nonfinite = prefix + "requests.nonfinite";
+  names_.batches = prefix + "batches";
+  names_.swaps = prefix + "swaps";
+  names_.rollbacks = prefix + "rollbacks";
+  names_.queue_depth = prefix + "queue_depth";
+  names_.last_batch_size = prefix + "last_batch_size";
+  names_.batch_compute = prefix + "batch.compute";
+  names_.request_latency = prefix + "request.latency";
   SAGDFN_CHECK_GE(options_.num_workers, 1);
   SAGDFN_CHECK_GE(options_.max_batch, 1);
   SAGDFN_CHECK_GE(options_.max_wait_us, 0);
@@ -79,7 +96,7 @@ std::future<Forecast> InferenceEngine::SubmitInternal(
     tensor::Tensor x, tensor::Tensor future_tod,
     Clock::time_point deadline) {
   const auto reject = [this](utils::Status status, int64_t EngineStats::*slot,
-                             const char* counter) {
+                             const std::string& counter) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++(stats_.*slot);
@@ -101,19 +118,19 @@ std::future<Forecast> InferenceEngine::SubmitInternal(
                       std::to_string(config.num_nodes) + ", " +
                       std::to_string(config.input_dim) + "], got " +
                       x.shape().ToString()),
-                  &EngineStats::rejected, "serve.requests.rejected");
+                  &EngineStats::rejected, names_.rejected);
   }
   if (future_tod.ndim() != 1 || future_tod.dim(0) != config.horizon) {
     return reject(utils::Status::InvalidArgument(
                       "request future_tod must be [f] = [" +
                       std::to_string(config.horizon) + "], got " +
                       future_tod.shape().ToString()),
-                  &EngineStats::rejected, "serve.requests.rejected");
+                  &EngineStats::rejected, names_.rejected);
   }
   if (deadline != Clock::time_point::max() && Clock::now() >= deadline) {
     return reject(
         utils::Status::DeadlineExceeded("request deadline already expired"),
-        &EngineStats::timed_out, "serve.requests.timed_out");
+        &EngineStats::timed_out, names_.timed_out);
   }
 
   Request request;
@@ -125,7 +142,7 @@ std::future<Forecast> InferenceEngine::SubmitInternal(
 
   utils::Status reject_status;
   int64_t EngineStats::*reject_slot = &EngineStats::rejected;
-  const char* reject_counter = "serve.requests.rejected";
+  const std::string* reject_counter = &names_.rejected;
   int64_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -145,7 +162,7 @@ std::future<Forecast> InferenceEngine::SubmitInternal(
           " requests already queued (watermark " +
           std::to_string(options_.shed_queue_depth) + ")");
       reject_slot = &EngineStats::shed;
-      reject_counter = "serve.requests.shed";
+      reject_counter = &names_.shed;
     } else {
       queue_.push_back(std::move(request));
       ++stats_.submitted;
@@ -153,11 +170,11 @@ std::future<Forecast> InferenceEngine::SubmitInternal(
     }
   }
   if (!reject_status.ok()) {
-    return reject(std::move(reject_status), reject_slot, reject_counter);
+    return reject(std::move(reject_status), reject_slot, *reject_counter);
   }
   obs::Telemetry& telemetry = obs::Telemetry::Global();
-  telemetry.AddCounter("serve.requests.submitted");
-  telemetry.SetGauge("serve.queue_depth", static_cast<double>(depth));
+  telemetry.AddCounter(names_.submitted);
+  telemetry.SetGauge(names_.queue_depth, static_cast<double>(depth));
   queue_cv_.notify_one();
   return future;
 }
@@ -184,8 +201,8 @@ utils::Status InferenceEngine::SwapModel(
     swap_observer = swap_observer_;
   }
   obs::Telemetry& telemetry = obs::Telemetry::Global();
-  telemetry.AddCounter("serve.swaps");
-  if (kind == SwapKind::kRollback) telemetry.AddCounter("serve.rollbacks");
+  telemetry.AddCounter(names_.swaps);
+  if (kind == SwapKind::kRollback) telemetry.AddCounter(names_.rollbacks);
   // Outside the lock: the observer may take its own locks (the forecast
   // cache does) and must not deadlock against Submit/RunBatch.
   if (swap_observer != nullptr) (*swap_observer)(installed, kind);
@@ -254,7 +271,7 @@ void InferenceEngine::WorkerLoop() {
       }
       stats_.timed_out += static_cast<int64_t>(expired.size());
       obs::Telemetry::Global().SetGauge(
-          "serve.queue_depth", static_cast<double>(queue_.size()));
+          names_.queue_depth, static_cast<double>(queue_.size()));
     }
     // Wake siblings: more requests may remain for another batch, and
     // drain-mode shutdown needs every worker to re-check the queue.
@@ -271,7 +288,7 @@ void InferenceEngine::RejectExpired(std::vector<Request> expired) {
         utils::Status::DeadlineExceeded(
             "request deadline expired while queued"),
         tensor::Tensor()});
-    telemetry.AddCounter("serve.requests.timed_out");
+    telemetry.AddCounter(names_.timed_out);
   }
 }
 
@@ -291,7 +308,8 @@ void InferenceEngine::RunBatch(std::vector<Request> batch) {
   }
   utils::FaultInjector& injector = utils::FaultInjector::Global();
   int64_t race_us = 0;
-  if (injector.FireParam(utils::FaultSite::kSwapRace, &race_us)) {
+  if (injector.FireParam(utils::FaultSite::kSwapRace, options_.tenant,
+                         &race_us)) {
     // Deterministically widen the window between snapshot pin and
     // compute so swap-under-load tests can land a swap inside it.
     std::this_thread::sleep_for(std::chrono::microseconds(race_us));
@@ -318,15 +336,16 @@ void InferenceEngine::RunBatch(std::vector<Request> batch) {
   tensor::Tensor predictions;
   const auto compute_start = Clock::now();
   {
-    SAGDFN_SCOPED_TIMER("serve.batch.compute");
     predictions = model->Predict(x, tod);  // [B, f, N]
     int64_t slow_us = 0;
-    if (injector.FireParam(utils::FaultSite::kSlowBatch, &slow_us)) {
+    if (injector.FireParam(utils::FaultSite::kSlowBatch, options_.tenant,
+                           &slow_us)) {
       std::this_thread::sleep_for(std::chrono::microseconds(slow_us));
     }
   }
   const double compute_seconds = SecondsSince(compute_start);
-  if (injector.FireCounted(utils::FaultSite::kNanForecast)) {
+  if (injector.FireCounted(utils::FaultSite::kNanForecast,
+                           options_.tenant)) {
     // Poison the whole batch output: the audit below must catch it.
     std::fill(predictions.data(), predictions.data() + predictions.size(),
               std::numeric_limits<float>::quiet_NaN());
@@ -355,12 +374,13 @@ void InferenceEngine::RunBatch(std::vector<Request> batch) {
     stats_.nonfinite += nonfinite;
     ++stats_.batches;
   }
-  telemetry.AddCounter("serve.requests.completed", completed);
+  telemetry.AddCounter(names_.completed, completed);
   if (nonfinite > 0) {
-    telemetry.AddCounter("serve.requests.nonfinite", nonfinite);
+    telemetry.AddCounter(names_.nonfinite, nonfinite);
   }
-  telemetry.AddCounter("serve.batches");
-  telemetry.SetGauge("serve.last_batch_size", static_cast<double>(b));
+  telemetry.AddCounter(names_.batches);
+  telemetry.SetGauge(names_.last_batch_size, static_cast<double>(b));
+  telemetry.RecordDuration(names_.batch_compute, compute_seconds);
 
   // Observer before fulfillment for the same reason: a health-probe
   // rollback triggered by this batch is already applied when the caller's
@@ -375,7 +395,7 @@ void InferenceEngine::RunBatch(std::vector<Request> batch) {
   }
 
   for (int64_t i = 0; i < b; ++i) {
-    telemetry.RecordDuration("serve.request.latency",
+    telemetry.RecordDuration(names_.request_latency,
                              SecondsSince(batch[i].enqueued));
     if (!finite[i]) {
       batch[i].promise.set_value(Forecast{
@@ -414,7 +434,7 @@ void InferenceEngine::Shutdown() {
         utils::Status::FailedPrecondition(
             "inference engine shut down before this request ran"),
         tensor::Tensor()});
-    obs::Telemetry::Global().AddCounter("serve.requests.rejected");
+    obs::Telemetry::Global().AddCounter(names_.rejected);
   }
 
   if (!joined_) {

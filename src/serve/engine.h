@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +47,13 @@ struct EngineOptions {
   /// outstanding future is satisfied before the destructor returns — no
   /// future is ever left dangling.
   bool drain_on_shutdown = true;
+  /// Tenant id owning this engine in a multi-tenant process. Empty keeps
+  /// the legacy process-global telemetry names (serve.requests.*); when
+  /// set, every counter/gauge/timer is namespaced as
+  /// serve.<tenant>.requests.* etc., and serve-side fault probes
+  /// (nan_forecast / slow_batch / swap_race) carry the tenant id so a
+  /// `@tenant=ID`-qualified fault spec hits only this engine.
+  std::string tenant;
 };
 
 /// Result of one request: `prediction` is the scaled forecast [f, N] when
@@ -146,7 +154,9 @@ using SwapObserver = std::function<void(
 /// rejected,timed_out,shed,nonfinite}, serve.batches, serve.swaps and
 /// serve.rollbacks, gauges serve.queue_depth and serve.last_batch_size,
 /// timer serve.batch.compute, and per-request end-to-end latency under
-/// serve.request.latency.
+/// serve.request.latency. With EngineOptions::tenant set, every name is
+/// prefixed serve.<tenant>.* instead, so per-tenant engines never share
+/// (or interleave) a counter namespace.
 class InferenceEngine {
  public:
   /// `model` is shared read-only; the engine keeps it (and any snapshot
@@ -230,14 +240,33 @@ class InferenceEngine {
 
   /// Fails every request in `expired` with DeadlineExceeded (already
   /// counted under mu_ by the caller).
-  static void RejectExpired(std::vector<Request> expired);
+  void RejectExpired(std::vector<Request> expired);
 
   /// Stacks `batch`, runs the pinned frozen snapshot, audits the output,
   /// splits it, fulfills every promise in the batch, and reports to the
   /// batch observer.
   void RunBatch(std::vector<Request> batch);
 
+  /// Telemetry names, prefixed with the tenant id once at construction so
+  /// the hot paths never concatenate strings per request.
+  struct TelemetryNames {
+    std::string submitted;
+    std::string completed;
+    std::string rejected;
+    std::string timed_out;
+    std::string shed;
+    std::string nonfinite;
+    std::string batches;
+    std::string swaps;
+    std::string rollbacks;
+    std::string queue_depth;
+    std::string last_batch_size;
+    std::string batch_compute;
+    std::string request_latency;
+  };
+
   EngineOptions options_;
+  TelemetryNames names_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // workers wait here

@@ -32,21 +32,29 @@ bool AllFinite(const float* data, int64_t size) {
   return true;
 }
 
-void EmitDecision(const char* event, const std::string& path,
-                  const std::string& detail) {
+}  // namespace
+
+void ModelRegistry::EmitDecision(const char* event, const std::string& path,
+                                 const std::string& detail) const {
   obs::Telemetry& telemetry = obs::Telemetry::Global();
   if (!telemetry.sink_open()) return;
   obs::Event record(event);
+  if (!options_.tenant.empty()) record.Str("tenant", options_.tenant);
   record.Str("path", path);
   if (!detail.empty()) record.Str("detail", detail);
   telemetry.Emit(record);
 }
 
-}  // namespace
-
 ModelRegistry::ModelRegistry(InferenceEngine* engine, RegistryOptions options)
     : engine_(engine), options_(std::move(options)) {
   SAGDFN_CHECK(engine_ != nullptr);
+  const std::string prefix = options_.tenant.empty()
+                                 ? "registry."
+                                 : "registry." + options_.tenant + ".";
+  names_.published = prefix + "published";
+  names_.rejected = prefix + "rejected";
+  names_.rollbacks = prefix + "rollbacks";
+  names_.health_passes = prefix + "health_passes";
   SAGDFN_CHECK_GE(options_.health_window, 0);
   SAGDFN_CHECK_GE(options_.max_nonfinite, 0);
   SAGDFN_CHECK_GE(options_.max_batch_compute_us, 0);
@@ -78,7 +86,7 @@ utils::Status ModelRegistry::Publish(const std::string& path) {
       std::lock_guard<std::mutex> lock(state_mu_);
       ++stats_.rejected;
     }
-    obs::Telemetry::Global().AddCounter("registry.rejected");
+    obs::Telemetry::Global().AddCounter(names_.rejected);
     EmitDecision("registry.reject", path, gate.ToString());
     SAGDFN_LOG(Warning) << "ModelRegistry: rejected candidate '" << path
                         << "': " << gate.ToString();
@@ -109,7 +117,7 @@ utils::Status ModelRegistry::Publish(const std::string& path) {
       previous_.reset();  // no probation: nothing to roll back to
     }
   }
-  obs::Telemetry::Global().AddCounter("registry.published");
+  obs::Telemetry::Global().AddCounter(names_.published);
   EmitDecision("registry.publish", path, "");
   SAGDFN_LOG(Info) << "ModelRegistry: published candidate '" << path << "'";
   return utils::Status::Ok();
@@ -120,7 +128,7 @@ utils::Status ModelRegistry::ValidateCandidate(
   // Gate 0: deterministic fault hook, so tests and drills can fail a
   // publish without crafting a broken file.
   if (utils::FaultInjector::Global().FireCounted(
-          utils::FaultSite::kBadCandidate)) {
+          utils::FaultSite::kBadCandidate, options_.tenant)) {
     return utils::Status::Internal(
         "fault injection: bad_candidate gate failure");
   }
@@ -341,7 +349,7 @@ void ModelRegistry::OnBatch(const BatchReport& report) {
     live_compute_us_ = std::move(probation_compute_us_);
     probation_compute_us_.clear();
     ++stats_.health_passes;
-    obs::Telemetry::Global().AddCounter("registry.health_passes");
+    obs::Telemetry::Global().AddCounter(names_.health_passes);
   }
 }
 
@@ -359,7 +367,7 @@ void ModelRegistry::RollbackLocked(const std::string& reason) {
   probation_nonfinite_ = 0;
   probation_compute_us_.clear();
   ++stats_.rollbacks;
-  obs::Telemetry::Global().AddCounter("registry.rollbacks");
+  obs::Telemetry::Global().AddCounter(names_.rollbacks);
   EmitDecision("registry.rollback", "", reason);
 }
 

@@ -63,6 +63,16 @@ struct RegistryOptions {
   /// Directory scanned for candidate checkpoints (*.ckpt). Empty disables
   /// scanning; Publish() still works.
   std::string watch_dir;
+
+  /// Tenant id owning this registry in a multi-tenant process. Empty
+  /// keeps the legacy process-global names (registry.*); when set,
+  /// counters are namespaced registry.<tenant>.*, every JSONL decision
+  /// event carries a "tenant" field, and the bad_candidate fault probe
+  /// carries the tenant id so a `@tenant=ID`-qualified spec fails only
+  /// this registry's publishes. Without this, two registries watching
+  /// different directories would interleave indistinguishable
+  /// registry.publish/reject records into one sink.
+  std::string tenant;
 };
 
 /// Counters of one registry's lifetime (all monotonic).
@@ -102,8 +112,10 @@ struct RegistryStats {
 /// swap is the last step, after every gate has passed.
 ///
 /// Telemetry: counters registry.{published,rejected,rollbacks,
-/// health_passes}, plus one "registry.publish" / "registry.reject" /
-/// "registry.rollback" event per decision when a JSONL sink is open.
+/// health_passes} (registry.<tenant>.* when RegistryOptions::tenant is
+/// set), plus one "registry.publish" / "registry.reject" /
+/// "registry.rollback" event per decision when a JSONL sink is open;
+/// multi-tenant decisions carry a "tenant" field.
 ///
 /// Thread safety: Publish/ScanOnce may be called from any thread
 /// (publishes are serialized); the health probe runs on engine worker
@@ -161,6 +173,11 @@ class ModelRegistry {
   /// The engine's per-batch callback (runs on worker threads).
   void OnBatch(const BatchReport& report);
 
+  /// Emits one tenant-tagged JSONL decision record (no-op without a
+  /// sink).
+  void EmitDecision(const char* event, const std::string& path,
+                    const std::string& detail) const;
+
   /// Rolls the engine back to previous_ (caller holds state_mu_).
   void RollbackLocked(const std::string& reason);
 
@@ -189,6 +206,15 @@ class ModelRegistry {
 
   InferenceEngine* engine_;
   RegistryOptions options_;
+
+  /// Counter names, prefixed with the tenant id once at construction.
+  struct TelemetryNames {
+    std::string published;
+    std::string rejected;
+    std::string rollbacks;
+    std::string health_passes;
+  };
+  TelemetryNames names_;
 
   /// Serializes Publish() callers.
   std::mutex publish_mu_;

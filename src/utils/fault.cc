@@ -62,7 +62,6 @@ Status FaultInjector::Configure(const std::string& spec) {
   rules_ = std::move(rules);
   seed_ = seed;
   rng_ = Rng(seed_);
-  for (auto& c : counters_) c = 0;
   enabled_.store(!rules_.empty(), std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -80,22 +79,40 @@ Status FaultInjector::ParseSpec(const std::string& spec,
     const std::string term = Trim(raw);
     if (term.empty()) continue;
 
-    // Split "kind@key=value" (the @key=value part is optional).
-    std::string kind = term;
+    // Split "kind[@key=value]...": a term is the site kind followed by
+    // any number of @key=value qualifiers. At most one non-tenant
+    // qualifier is meaningful per site; `tenant=ID` may ride along on
+    // any serve-side term.
+    const std::vector<std::string> segments = Split(term, '@');
+    std::string kind = segments[0];
     std::string key;
     std::string value;
-    const size_t at = term.find('@');
-    if (at != std::string::npos) {
-      kind = term.substr(0, at);
-      const std::string rest = term.substr(at + 1);
-      const size_t eq = rest.find('=');
+    std::string tenant;
+    for (size_t s = 1; s < segments.size(); ++s) {
+      const std::string& seg = segments[s];
+      const size_t eq = seg.find('=');
       if (eq == std::string::npos) {
         return Status::InvalidArgument("fault term '" + term +
                                        "': expected @key=value");
       }
-      key = rest.substr(0, eq);
-      value = rest.substr(eq + 1);
-    } else {
+      const std::string seg_key = seg.substr(0, eq);
+      const std::string seg_value = seg.substr(eq + 1);
+      if (seg_key == "tenant") {
+        if (seg_value.empty()) {
+          return Status::InvalidArgument("fault term '" + term +
+                                         "': empty tenant id");
+        }
+        tenant = seg_value;
+      } else if (key.empty()) {
+        key = seg_key;
+        value = seg_value;
+      } else {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': more than one non-tenant "
+                                       "qualifier");
+      }
+    }
+    if (segments.size() == 1) {
       // "seed=K" has no site; handle before site mapping.
       const size_t eq = term.find('=');
       if (eq != std::string::npos) {
@@ -117,6 +134,7 @@ Status FaultInjector::ParseSpec(const std::string& spec,
 
     Rule rule;
     rule.term = term;
+    rule.tenant = tenant;
     int64_t index = -1;
     double prob = -1.0;
     if (!value.empty() && key != "prob") {
@@ -234,9 +252,14 @@ std::string FaultInjector::active_spec() const {
   return spec_;
 }
 
-bool FaultInjector::FireLocked(FaultSite site, int64_t index) {
+bool FaultInjector::TenantMatches(const Rule& rule, std::string_view tenant) {
+  return rule.tenant.empty() || rule.tenant == tenant;
+}
+
+bool FaultInjector::FireLocked(FaultSite site, int64_t index,
+                               std::string_view tenant) {
   for (Rule& rule : rules_) {
-    if (rule.site != site) continue;
+    if (rule.site != site || !TenantMatches(rule, tenant)) continue;
     if (rule.index >= 0) {
       if (!rule.fired && index == rule.index) {
         rule.fired = true;
@@ -257,21 +280,51 @@ bool FaultInjector::FireLocked(FaultSite site, int64_t index) {
 bool FaultInjector::Fire(FaultSite site, int64_t index) {
   if (!enabled()) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  return FireLocked(site, index);
+  return FireLocked(site, index, std::string_view());
 }
 
 bool FaultInjector::FireCounted(FaultSite site) {
+  return FireCounted(site, std::string_view());
+}
+
+bool FaultInjector::FireCounted(FaultSite site, std::string_view tenant) {
   if (!enabled()) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  const int64_t occurrence = ++counters_[static_cast<int>(site)];
-  return FireLocked(site, occurrence);
+  // Every matching rule advances its own occurrence counter even when an
+  // earlier rule fires, so two rules for the same site count the same
+  // probe stream.
+  bool any_fired = false;
+  for (Rule& rule : rules_) {
+    if (rule.site != site || !TenantMatches(rule, tenant)) continue;
+    const int64_t occurrence = ++rule.seen;
+    if (rule.index >= 0) {
+      if (!rule.fired && occurrence == rule.index) {
+        rule.fired = true;
+        SAGDFN_LOG(Warning) << "FaultInjector: firing '" << rule.term
+                            << "' at " << SiteName(site) << " occurrence "
+                            << occurrence;
+        any_fired = true;
+      }
+    } else if (rng_.Bernoulli(rule.prob)) {
+      SAGDFN_LOG(Warning) << "FaultInjector: firing '" << rule.term
+                          << "' at " << SiteName(site) << " occurrence "
+                          << occurrence;
+      any_fired = true;
+    }
+  }
+  return any_fired;
 }
 
 bool FaultInjector::FireParam(FaultSite site, int64_t* out_param) {
+  return FireParam(site, std::string_view(), out_param);
+}
+
+bool FaultInjector::FireParam(FaultSite site, std::string_view tenant,
+                              int64_t* out_param) {
   if (!enabled()) return false;
   std::lock_guard<std::mutex> lock(mu_);
   for (const Rule& rule : rules_) {
-    if (rule.site != site) continue;
+    if (rule.site != site || !TenantMatches(rule, tenant)) continue;
     *out_param = rule.param;
     return true;
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "utils/rng.h"
@@ -53,6 +54,19 @@ inline constexpr int kNumFaultSites = 10;
 ///   swap_race@us=2000   ... with an explicit window width
 ///   seed=99             seed for the probabilistic (@prob) terms
 ///
+/// Serve-side terms additionally accept a `@tenant=ID` qualifier so a
+/// multi-tenant process can fault exactly one tenant's lane:
+///
+///   nan_forecast@batch=1@tenant=carpark   only carpark's 1st micro-batch
+///   slow_batch@us=500@tenant=london2000   stall only london2000's batches
+///   bad_candidate@publish=1@tenant=newyork2000
+///
+/// A tenant-qualified rule fires only on probes carrying that tenant id;
+/// an unqualified rule fires on every probe of its site (including
+/// tenant-less single-tenant probes). Occurrence counting (`@save=N`,
+/// `@publish=N`, `@batch=N`) is per rule, so `@publish=1@tenant=X`
+/// means X's first publish, not the process's first.
+///
 /// Indexed terms (@iter/@epoch/@save/@load) fire exactly once;
 /// probabilistic terms fire on a seeded Bernoulli draw per probe, so a
 /// given (spec, seed) always yields the same fault sequence. An empty
@@ -92,14 +106,18 @@ class FaultInjector {
   bool Fire(FaultSite site, int64_t index);
 
   /// Probes an occurrence-counted site (kSaveFail/kLoadFail/kTruncate/
-  /// kBadCandidate/kNanForecast@batch): each call advances the site's
-  /// 1-based counter, and a rule with index N fires on the Nth probe.
+  /// kBadCandidate/kNanForecast@batch): each matching rule advances its
+  /// own 1-based counter, and a rule with index N fires on the Nth probe
+  /// it matches. The tenant-less overload matches only unqualified rules.
   bool FireCounted(FaultSite site);
+  bool FireCounted(FaultSite site, std::string_view tenant);
 
   /// Probes a parameterized always-on site (kSlowBatch/kSwapRace).
-  /// Returns true when a rule for the site is armed and writes the rule's
-  /// parameter (microseconds) to `*out_param`.
+  /// Returns true when a rule for the site matches this probe's tenant
+  /// and writes the rule's parameter (microseconds) to `*out_param`.
   bool FireParam(FaultSite site, int64_t* out_param);
+  bool FireParam(FaultSite site, std::string_view tenant,
+                 int64_t* out_param);
 
  private:
   struct Rule {
@@ -108,18 +126,23 @@ class FaultInjector {
     double prob = 0.0;    // used when index < 0
     int64_t param = 0;    // payload for parameterized sites (microseconds)
     bool fired = false;   // one-shot latch for indexed rules
+    int64_t seen = 0;     // per-rule probe count for occurrence sites
+    std::string tenant;   // empty = matches every probe of the site
     std::string term;     // original spec term, for log lines
   };
 
   static Status ParseSpec(const std::string& spec,
                           std::vector<Rule>* out_rules, uint64_t* out_seed);
-  bool FireLocked(FaultSite site, int64_t index);
+  /// True when `rule` applies to a probe carrying `tenant` (empty for
+  /// tenant-less probes): unqualified rules match everything,
+  /// tenant-qualified rules only their own tenant's probes.
+  static bool TenantMatches(const Rule& rule, std::string_view tenant);
+  bool FireLocked(FaultSite site, int64_t index, std::string_view tenant);
 
   mutable std::mutex mu_;
   std::atomic<bool> enabled_{false};
   std::string spec_;
   std::vector<Rule> rules_;
-  int64_t counters_[kNumFaultSites] = {};
   uint64_t seed_ = 42;
   Rng rng_{42};
 };

@@ -315,5 +315,67 @@ TEST_F(FaultInjectionTest, ParamSitesReturnConfiguredValue) {
   EXPECT_EQ(race, 2000);  // documented default window
 }
 
+// ---------------------------------------------------------------------------
+// Tenant-qualified rules (multi-tenant serving)
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, TenantQualifiedSpecsParse) {
+  utils::FaultInjector injector;
+  EXPECT_TRUE(injector.Configure("nan_forecast@batch=1@tenant=carpark").ok());
+  EXPECT_TRUE(injector.Configure("slow_batch@us=500@tenant=london2000").ok());
+  EXPECT_TRUE(injector.Configure("bad_candidate@tenant=newyork2000").ok());
+  EXPECT_TRUE(injector
+                  .Configure("bad_candidate@publish=2@tenant=a, "
+                             "nan_forecast@prob=0.5@tenant=b, seed=5")
+                  .ok());
+
+  // The tenant qualifier never substitutes for a required trigger.
+  EXPECT_FALSE(injector.Configure("nan_forecast@tenant=x").ok());
+  EXPECT_FALSE(injector.Configure("slow_batch@us=1@tenant=").ok());
+  EXPECT_FALSE(injector.Configure("slow_batch@us=1@vs=2").ok());
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST_F(FaultInjectionTest, TenantQualifiedRulesMatchOnlyTheirTenant) {
+  utils::FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("bad_candidate@tenant=carpark").ok());
+  // A tenant-less probe (single-tenant code path) never matches a
+  // qualified rule, and neither does another tenant's probe.
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate));
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate, "metr"));
+  EXPECT_TRUE(
+      injector.FireCounted(utils::FaultSite::kBadCandidate, "carpark"));
+
+  int64_t us = 0;
+  ASSERT_TRUE(injector.Configure("slow_batch@us=300@tenant=ldn").ok());
+  EXPECT_FALSE(injector.FireParam(utils::FaultSite::kSlowBatch, &us));
+  EXPECT_FALSE(injector.FireParam(utils::FaultSite::kSlowBatch, "nyc", &us));
+  EXPECT_EQ(us, 0);
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSlowBatch, "ldn", &us));
+  EXPECT_EQ(us, 300);
+}
+
+TEST_F(FaultInjectionTest, UnqualifiedRulesMatchEveryTenant) {
+  utils::FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("slow_batch@us=250").ok());
+  int64_t us = 0;
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSlowBatch, "any", &us));
+  EXPECT_EQ(us, 250);
+  us = 0;
+  EXPECT_TRUE(injector.FireParam(utils::FaultSite::kSlowBatch, &us));
+  EXPECT_EQ(us, 250);
+}
+
+TEST_F(FaultInjectionTest, TenantCountedRulesCountOnlyMatchingProbes) {
+  utils::FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("bad_candidate@publish=2@tenant=a").ok());
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate, "a"));
+  // Another tenant's publishes do not advance tenant a's occurrence
+  // count toward the trigger.
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate, "b"));
+  EXPECT_TRUE(injector.FireCounted(utils::FaultSite::kBadCandidate, "a"));
+  EXPECT_FALSE(injector.FireCounted(utils::FaultSite::kBadCandidate, "a"));
+}
+
 }  // namespace
 }  // namespace sagdfn

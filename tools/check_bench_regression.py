@@ -37,7 +37,11 @@ serve.cached_reads.* scenario's p99 read latency is within
 --max-cached-read-ratio (default 5) times the serve.unbatched p50: a
 cache hit is one atomic shared_ptr load and must stay in the same
 order of magnitude as a single uncontended request, not drift toward
-recomputation cost. Serve latency is wall-clock and queue-time
+recomputation cost. A second fresh-run-only criterion bounds the
+multi-tenant router's fairness: every serve.tenant.multi.* scenario's
+p99 must stay within --max-tenant-fairness-ratio (default 2) times the
+serve.tenant.single p99 — four concurrent tenants may cost at most one
+doubling over an idle router. Serve latency is wall-clock and queue-time
 dominated, so CI runs this comparison NON-BLOCKING (informational) — a
 failure there flags a trend to look at, not a gate.
 
@@ -209,6 +213,36 @@ def check_cached_read_ratio(fresh, max_ratio):
     return failures
 
 
+def check_tenant_fairness(fresh, max_ratio):
+    """Fresh-run-only criterion: multi-tenant p99 vs single-tenant p99.
+
+    The tenant router's isolation claim in latency terms: with four
+    tenants under full concurrent load, no tenant's p99 may exceed
+    max_ratio x the p99 the same replay sees on an otherwise idle
+    single-tenant router. Computed within one run on one machine, so it
+    is stable enough to block on (unlike absolute latencies).
+    """
+    failures = []
+    single_p99 = fresh.get("serve.tenant.single", {}).get("p99_us", 0.0)
+    multi = {k: v for k, v in fresh.items()
+             if k.startswith("serve.tenant.multi.")}
+    if single_p99 <= 0.0 or not multi:
+        print("note: tenant fairness check skipped (missing "
+              "serve.tenant.single p99 or serve.tenant.multi.* scenarios)")
+        return failures
+    bound = max_ratio * single_p99
+    for name in sorted(multi):
+        p99 = multi[name].get("p99_us", 0.0)
+        ratio = p99 / single_p99
+        ok = p99 <= bound
+        marker = "ok" if ok else "UNFAIR"
+        print(f"  {name:32s} p99 {p99:10.1f}us = {ratio:5.2f}x single-tenant "
+              f"p99 {single_p99:.1f}us (bound {max_ratio:.1f}x)  {marker}")
+        if not ok:
+            failures.append((f"{name}.tenant_fairness_ratio", ratio))
+    return failures
+
+
 def load_rollout(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -348,6 +382,10 @@ def main():
     parser.add_argument("--max-cached-read-ratio", type=float, default=5.0,
                         help="max tolerated serve.cached_reads.* p99 as a "
                              "multiple of the fresh serve.unbatched p50")
+    parser.add_argument("--max-tenant-fairness-ratio", type=float,
+                        default=2.0,
+                        help="max tolerated serve.tenant.multi.* p99 as a "
+                             "multiple of the fresh serve.tenant.single p99")
     parser.add_argument("--rollout-fresh", default=None,
                         help="BENCH_rollout_fusion.json from the run under "
                              "test; selects the rollout fused-vs-eager "
@@ -415,6 +453,10 @@ def main():
               f"{args.max_cached_read_ratio:.1f}x unbatched p50) ==")
         failures += check_cached_read_ratio(fresh,
                                             args.max_cached_read_ratio)
+        print(f"== multi-tenant fairness check (bound "
+              f"{args.max_tenant_fairness_ratio:.1f}x single-tenant p99) ==")
+        failures += check_tenant_fairness(fresh,
+                                          args.max_tenant_fairness_ratio)
         if failures:
             for name, delta in failures:
                 print(f"FAIL: {name} moved {delta:+.1f}%", file=sys.stderr)

@@ -28,7 +28,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"}
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target fault_injection_test serialization_test trainer_test \
-  serve_engine_test rollout_plan_test registry_test tick_stream_test
+  serve_engine_test rollout_plan_test registry_test tick_stream_test \
+  tenant_router_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
@@ -43,6 +44,9 @@ echo "== inference engine lifecycle (ASan: shutdown, destroy-under-load) =="
 
 echo "== registry serve-side fault sites (ASan: bad_candidate, nan_forecast, slow_batch, swap_race) =="
 "${BUILD_DIR}/tests/registry_test"
+
+echo "== tenant router isolation suite (ASan: tenant-qualified faults, deregister-with-in-flight drain, online-trainer kill/resume) =="
+ctest --test-dir "${BUILD_DIR}" -L tenant --output-on-failure
 
 echo "== registry corrupt-candidate fuzz corpus (ASan) =="
 "${BUILD_DIR}/tests/serialization_test" \

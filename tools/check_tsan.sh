@@ -24,7 +24,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"}
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target utils_test tensor_reference_test serve_engine_test \
-  rollout_plan_test registry_test tick_stream_test
+  rollout_plan_test registry_test tick_stream_test tenant_router_test
 
 # halt_on_error so the first race aborts with a non-zero exit code.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -48,5 +48,8 @@ echo "== Hot-swap registry suite (swap-under-load, probation rollback from worke
 
 echo "== Streaming tick loop (lock-free forecast cache: concurrent readers vs tick writer, swap invalidation) =="
 "${BUILD_DIR}/tests/tick_stream_test"
+
+echo "== Multi-tenant router suite (per-tenant byte equality under concurrent load, online fine-tune sweeps) =="
+"${BUILD_DIR}/tests/tenant_router_test"
 
 echo "TSan check passed: no data races detected."

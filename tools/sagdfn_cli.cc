@@ -14,12 +14,17 @@
 //   serve --dataset <name> --model model.ckpt [--workers W] [--batch B]
 //         [--max-wait-us U] [--requests R] [--clients C]
 //         [--registry_dir DIR] [--deadline_ms MS]
+//         [--tenants a,b,c] [--worker-budget T]
 //       Replay test-split windows through the batched inference engine
 //       from C concurrent clients and report latency percentiles.
 //       --registry_dir watches DIR for candidate checkpoints and
 //       hot-swaps any that pass the quality gate while the replay runs;
 //       --deadline_ms applies a per-request deadline (expired requests
-//       are rejected, never executed).
+//       are rejected, never executed). --tenants switches to the
+//       multi-tenant router: one isolated engine per listed tenant id,
+//       all serving the checkpoint, replayed concurrently with the
+//       shared --worker-budget (0 = unlimited) divided across tenants;
+//       the report becomes a per-tenant table.
 //
 // Examples:
 //   sagdfn_cli generate --dataset metr-la-sim --out metr.csv
@@ -31,7 +36,9 @@
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +52,7 @@
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
 #include "serve/registry.h"
+#include "serve/tenant_router.h"
 #include "utils/cli.h"
 #include "utils/string_util.h"
 #include "utils/table_printer.h"
@@ -235,6 +243,93 @@ std::vector<ServeRequest> TestWindows(const data::ForecastDataset& dataset,
   return requests;
 }
 
+/// Multi-tenant replay: every listed tenant gets its own engine (and
+/// registry namespace) on one TenantRouter serving the same checkpoint;
+/// all tenants replay the window stream at once, each from `clients`
+/// concurrent submitter threads, and the report is per-tenant — workers
+/// granted under the shared budget, failures, p50/p99 — so a skew
+/// between tenants is visible at a glance.
+int ServeTenants(const utils::CommandLine& cli,
+                 const std::vector<std::string>& tenants,
+                 std::shared_ptr<const serve::FrozenModel> model,
+                 const serve::EngineOptions& engine_options,
+                 const std::vector<ServeRequest>& requests, int64_t clients) {
+  serve::TenantRouterOptions router_options;
+  router_options.worker_budget = cli.GetInt("worker-budget", 0);
+  serve::TenantRouter router(router_options);
+  for (const std::string& id : tenants) {
+    serve::TenantConfig config;
+    config.engine = engine_options;
+    utils::Status status = router.AddTenant(id, model, config);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "serving " << requests.size() << " requests x "
+            << tenants.size() << " tenants (" << clients
+            << " clients each, worker budget "
+            << (router_options.worker_budget > 0
+                    ? std::to_string(router_options.worker_budget)
+                    : std::string("unlimited"))
+            << ")\n";
+
+  using Clock = std::chrono::steady_clock;
+  std::map<std::string, std::vector<double>> latencies_us;
+  std::map<std::string, int64_t> failures;
+  for (const std::string& id : tenants) {
+    latencies_us[id].resize(requests.size(), 0.0);
+    failures[id] = 0;
+  }
+  std::mutex failure_mu;
+  std::vector<std::thread> threads;
+  for (const std::string& id : tenants) {
+    std::vector<double>* tenant_latencies = &latencies_us[id];
+    int64_t* tenant_failures = &failures[id];
+    for (int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, id, c, tenant_latencies, tenant_failures] {
+        int64_t failed = 0;
+        for (size_t i = c; i < requests.size(); i += clients) {
+          const auto start = Clock::now();
+          serve::Forecast forecast =
+              router.Submit(id, requests[i].x, requests[i].future_tod).get();
+          // clients never share an index i, so the writes don't race.
+          (*tenant_latencies)[i] =
+              std::chrono::duration_cast<
+                  std::chrono::duration<double, std::micro>>(Clock::now() -
+                                                             start)
+                  .count();
+          if (!forecast.status.ok()) ++failed;
+        }
+        std::lock_guard<std::mutex> lock(failure_mu);
+        *tenant_failures += failed;
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+
+  int64_t total_failures = 0;
+  utils::TablePrinter table(
+      {"tenant", "workers", "requests", "failures", "p50 (us)", "p99 (us)"});
+  for (const std::string& id : tenants) {
+    std::vector<double>& sample = latencies_us[id];
+    std::sort(sample.begin(), sample.end());
+    const auto percentile = [&](double p) {
+      const size_t index =
+          static_cast<size_t>(p * static_cast<double>(sample.size() - 1));
+      return sample[index];
+    };
+    total_failures += failures[id];
+    table.AddRow({id, std::to_string(router.WorkersGranted(id)),
+                  std::to_string(sample.size()),
+                  std::to_string(failures[id]),
+                  utils::FormatDouble(percentile(0.5), 0),
+                  utils::FormatDouble(percentile(0.99), 0)});
+  }
+  std::cout << table.ToString();
+  return total_failures == 0 ? 0 : 1;
+}
+
 int Serve(const utils::CommandLine& cli, const std::string& name) {
   const std::string path = cli.GetString("model", "");
   if (path.empty()) {
@@ -258,6 +353,29 @@ int Serve(const utils::CommandLine& cli, const std::string& name) {
   options.max_wait_us = cli.GetInt("max-wait-us", 1000);
   const int64_t deadline_ms = cli.GetInt("deadline_ms", 0);
   options.default_deadline_us = deadline_ms * 1000;
+
+  // --tenants switches to the multi-tenant router path.
+  const std::string tenants_flag = cli.GetString("tenants", "");
+  if (!tenants_flag.empty()) {
+    std::vector<std::string> tenants;
+    for (const std::string& id : utils::Split(tenants_flag, ',')) {
+      if (!id.empty()) tenants.push_back(id);
+    }
+    if (tenants.empty()) {
+      std::cerr << "error: --tenants needs at least one non-empty id\n";
+      return 2;
+    }
+    const int64_t clients = std::max<int64_t>(1, cli.GetInt("clients", 4));
+    std::vector<ServeRequest> tenant_requests =
+        TestWindows(dataset, cli.GetInt("requests", 64));
+    if (tenant_requests.empty()) {
+      std::cerr << "error: no test windows available\n";
+      return 1;
+    }
+    return ServeTenants(cli, tenants, model, options, tenant_requests,
+                        clients);
+  }
+
   serve::InferenceEngine engine(model, options);
 
   // Optional hot-swap registry: watch --registry_dir for candidate
